@@ -1,0 +1,76 @@
+// Command qfix-bench regenerates the QFix paper's evaluation figures.
+//
+// Usage:
+//
+//	qfix-bench -fig fig6b            # one figure
+//	qfix-bench -fig all              # the whole evaluation
+//	qfix-bench -fig fig9 -scale large -reps 5 -seed 7
+//
+// Output is one aligned text table per figure, with the same series the
+// paper plots (latency plus precision/recall/F1). See EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison at the default scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure id (fig4, fig6a, fig6b, fig6c, fig7a, fig7b, fig8a..fig8e, fig9, fig10, ex2) or 'all'")
+		scale   = flag.String("scale", "default", "experiment scale: quick | default | large")
+		reps    = flag.Int("reps", 0, "repetitions per point (0 = scale default)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		limit   = flag.Duration("timelimit", 0, "per-solve time limit (0 = scale default)")
+		verbose = flag.Bool("v", false, "progress output")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc, err := bench.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := &bench.Runner{Scale: sc, Seed: *seed, Reps: *reps, TimeLimit: *limit}
+	if *verbose {
+		r.Out = os.Stderr
+	}
+
+	var exps []bench.Experiment
+	if *fig == "all" {
+		exps = bench.Experiments()
+	} else {
+		e, ok := bench.Lookup(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	start := time.Now()
+	for _, e := range exps {
+		t0 := time.Now()
+		table, err := e.Run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}

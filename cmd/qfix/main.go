@@ -1,0 +1,193 @@
+// Command qfix diagnoses data errors through a query history.
+//
+// It reads an initial database state (CSV with a header row), a SQL log
+// (UPDATE/INSERT/DELETE statements separated by semicolons), and a
+// complaint file, then prints the repaired log.
+//
+// Complaint file format, one complaint per line:
+//
+//	<tuple-id>,<v1>,<v2>,...   the tuple should end with these values
+//	<tuple-id>,DELETED         the tuple should have been deleted
+//
+// Tuple IDs are 1-based insertion order of the CSV rows; tuples inserted
+// by the log continue the sequence.
+//
+// Example:
+//
+//	qfix -data taxes.csv -log history.sql -complaints bad.txt -table Taxes
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	qfix "repro"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "CSV file with header row: the initial state D0")
+		logPath   = flag.String("log", "", "SQL file with the query history")
+		compPath  = flag.String("complaints", "", "complaint file (id,v1,v2,... or id,DELETED)")
+		tableName = flag.String("table", "t", "table name used in the SQL statements")
+		keyAttr   = flag.String("key", "", "primary key attribute name (optional)")
+		algo      = flag.String("algorithm", "incremental", "basic | incremental")
+		k         = flag.Int("k", 1, "incremental batch size")
+		noTuple   = flag.Bool("no-tuple-slicing", false, "disable tuple slicing")
+		noQuery   = flag.Bool("no-query-slicing", false, "disable query slicing")
+		attrSlice = flag.Bool("attr-slicing", false, "enable attribute slicing")
+		single    = flag.Bool("single", false, "assume a single corrupted query (strict candidate filter)")
+		limit     = flag.Duration("timelimit", 60*time.Second, "per-solve time limit")
+	)
+	flag.Parse()
+	if *dataPath == "" || *logPath == "" || *compPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: qfix -data D0.csv -log history.sql -complaints bad.txt [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	sch, d0, err := loadCSV(*dataPath, *tableName, *keyAttr)
+	fatalIf(err)
+
+	sqlBytes, err := os.ReadFile(*logPath)
+	fatalIf(err)
+	history, err := qfix.ParseLog(sch, string(sqlBytes))
+	fatalIf(err)
+
+	complaints, err := loadComplaints(*compPath, sch.Width())
+	fatalIf(err)
+
+	opts := qfix.Options{
+		K:                *k,
+		TupleSlicing:     !*noTuple,
+		QuerySlicing:     !*noQuery,
+		AttrSlicing:      *attrSlice,
+		SingleCorruption: *single,
+		TimeLimit:        *limit,
+	}
+	switch *algo {
+	case "basic":
+		opts.Algorithm = qfix.Basic
+	case "incremental", "inc":
+		opts.Algorithm = qfix.Incremental
+	default:
+		fatalIf(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	start := time.Now()
+	rep, err := qfix.Diagnose(d0, history, complaints, opts)
+	fatalIf(err)
+	elapsed := time.Since(start)
+
+	fmt.Printf("-- diagnosis completed in %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("-- complaints resolved: %v; repair distance: %.3f\n", rep.Resolved, rep.Distance)
+	if len(rep.Changed) == 0 {
+		fmt.Println("-- no queries needed repair")
+	}
+	for i, q := range rep.Log {
+		marker := "  "
+		for _, c := range rep.Changed {
+			if c == i {
+				marker = "*>"
+			}
+		}
+		fmt.Printf("%s %s;\n", marker, q.String(sch))
+	}
+	if !rep.Resolved {
+		fmt.Println("-- WARNING: no verified repair found (infeasible or time limit)")
+		os.Exit(1)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfix:", err)
+		os.Exit(1)
+	}
+}
+
+// loadCSV reads the initial state: header row of attribute names, then
+// one row of numeric values per tuple.
+func loadCSV(path, table, key string) (*qfix.Schema, *qfix.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(records) < 1 {
+		return nil, nil, fmt.Errorf("%s: empty file", path)
+	}
+	header := make([]string, len(records[0]))
+	for i, h := range records[0] {
+		header[i] = strings.TrimSpace(h)
+	}
+	sch, err := qfix.NewSchema(table, header, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := qfix.NewTable(sch)
+	for li, rec := range records[1:] {
+		vals := make([]float64, len(rec))
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s line %d: %v", path, li+2, err)
+			}
+			vals[i] = v
+		}
+		if _, err := tb.Insert(vals); err != nil {
+			return nil, nil, fmt.Errorf("%s line %d: %v", path, li+2, err)
+		}
+	}
+	return sch, tb, nil
+}
+
+// loadComplaints parses the complaint file.
+func loadComplaints(path string, width int) ([]qfix.Complaint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []qfix.Complaint
+	for li, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		id, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: bad tuple id: %v", path, li+1, err)
+		}
+		if len(parts) == 2 && strings.EqualFold(strings.TrimSpace(parts[1]), "DELETED") {
+			out = append(out, qfix.Complaint{TupleID: id, Exists: false})
+			continue
+		}
+		if len(parts)-1 != width {
+			return nil, fmt.Errorf("%s line %d: %d values, schema has %d attributes",
+				path, li+1, len(parts)-1, width)
+		}
+		vals := make([]float64, width)
+		for i, cell := range parts[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d: %v", path, li+1, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, qfix.Complaint{TupleID: id, Exists: true, Values: vals})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no complaints", path)
+	}
+	return out, nil
+}

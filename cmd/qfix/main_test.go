@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	qfix "repro"
+)
+
+func TestLoadCSV(t *testing.T) {
+	sch, tb, err := loadCSV("testdata/taxes.csv", "Taxes", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Width() != 3 || tb.Len() != 4 {
+		t.Fatalf("width=%d len=%d", sch.Width(), tb.Len())
+	}
+	tp, ok := tb.Get(2)
+	if !ok || tp.Values[0] != 90000 {
+		t.Errorf("tuple 2 = %v", tp.Values)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b\n1,notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadCSV(bad, "t", ""); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadCSV(empty, "t", ""); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, _, err := loadCSV(filepath.Join(dir, "missing.csv"), "t", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadComplaints(t *testing.T) {
+	cs, err := loadComplaints("testdata/complaints.txt", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d complaints", len(cs))
+	}
+	if cs[0].TupleID != 3 || !cs[0].Exists || cs[0].Values[1] != 21500 {
+		t.Errorf("complaint 0 = %+v", cs[0])
+	}
+}
+
+func TestLoadComplaintsFormats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.txt")
+	write := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("7,DELETED\n")
+	cs, err := loadComplaints(path, 3)
+	if err != nil || len(cs) != 1 || cs[0].Exists || cs[0].TupleID != 7 {
+		t.Errorf("DELETED parse: %+v, %v", cs, err)
+	}
+	write("1,2\n") // arity mismatch for width 3
+	if _, err := loadComplaints(path, 3); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	write("x,1,2,3\n")
+	if _, err := loadComplaints(path, 3); err == nil {
+		t.Error("bad id accepted")
+	}
+	write("# only comments\n")
+	if _, err := loadComplaints(path, 3); err == nil {
+		t.Error("empty complaint file accepted")
+	}
+}
+
+func TestEndToEndFromFiles(t *testing.T) {
+	// The CLI path without the process: load files, diagnose, verify.
+	sch, d0, err := loadCSV("testdata/taxes.csv", "Taxes", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlBytes, err := os.ReadFile("testdata/history.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	history, err := qfix.ParseLog(sch, string(sqlBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	complaints, err := loadComplaints("testdata/complaints.txt", sch.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := qfix.Diagnose(d0, history, complaints, qfix.Options{
+		Algorithm:    qfix.Incremental,
+		TupleSlicing: true,
+		QuerySlicing: true,
+		TimeLimit:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Fatalf("not resolved: %+v", rep.Stats)
+	}
+	if len(rep.Changed) != 1 || rep.Changed[0] != 0 {
+		t.Errorf("changed = %v, want [0]", rep.Changed)
+	}
+}

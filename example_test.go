@@ -1,0 +1,69 @@
+package qfix_test
+
+import (
+	"fmt"
+	"log"
+
+	qfix "repro"
+)
+
+// ExampleDiagnose runs the paper's Figure 2 scenario: a tax-bracket
+// update with transposed digits is traced back from two complaints and
+// repaired.
+func ExampleDiagnose() {
+	sch, err := qfix.NewSchema("Taxes", []string{"income", "owed", "pay"}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d0 := qfix.NewTable(sch)
+	d0.MustInsert(9500, 950, 8550)
+	d0.MustInsert(90000, 22500, 67500)
+	d0.MustInsert(86000, 21500, 64500)
+	d0.MustInsert(86500, 21625, 64875)
+
+	history, err := qfix.ParseLog(sch, `
+		UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;
+		INSERT INTO Taxes VALUES (85800, 21450, 0);
+		UPDATE Taxes SET pay = income - owed`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	complaints := []qfix.Complaint{
+		{TupleID: 3, Exists: true, Values: []float64{86000, 21500, 64500}},
+		{TupleID: 4, Exists: true, Values: []float64{86500, 21625, 64875}},
+	}
+	rep, err := qfix.Diagnose(d0, history, complaints, qfix.Options{
+		Algorithm:    qfix.Incremental,
+		TupleSlicing: true,
+		QuerySlicing: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("resolved:", rep.Resolved)
+	fmt.Println("repaired:", rep.Log[0].String(sch))
+	// Output:
+	// resolved: true
+	// repaired: UPDATE Taxes SET owed = 0.3 * income WHERE income >= 86500.5
+}
+
+// ExampleComplaintsFromDiff derives a complete complaint set by diffing
+// the corrupted state against the intended one.
+func ExampleComplaintsFromDiff() {
+	sch, _ := qfix.NewSchema("T", []string{"a", "b"}, "")
+	d0 := qfix.NewTable(sch)
+	d0.MustInsert(1, 10)
+	d0.MustInsert(2, 20)
+
+	dirty, _ := qfix.ParseLog(sch, "UPDATE T SET b = 0 WHERE a >= 1")
+	truth, _ := qfix.ParseLog(sch, "UPDATE T SET b = 0 WHERE a >= 2")
+	dirtyFinal, _ := qfix.Replay(dirty, d0)
+	truthFinal, _ := qfix.Replay(truth, d0)
+
+	for _, c := range qfix.ComplaintsFromDiff(dirtyFinal, truthFinal, 1e-9) {
+		fmt.Printf("tuple %d should be %v\n", c.TupleID, c.Values)
+	}
+	// Output:
+	// tuple 1 should be [1 10]
+}

@@ -1,0 +1,88 @@
+// Quickstart: the paper's running example (Figure 2).
+//
+// A tax-bracket adjustment was supposed to set a 30% rate for incomes
+// above $87,500, but the clerk transposed two digits and wrote 85,700.
+// Two customers (t3, t4) notice wrong amounts and complain. QFix traces
+// both complaints back to the WHERE constant of q1 and proposes a repair.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	qfix "repro"
+)
+
+func main() {
+	sch, err := qfix.NewSchema("Taxes", []string{"income", "owed", "pay"}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// D0: the checkpointed correct state.
+	d0 := qfix.NewTable(sch)
+	d0.MustInsert(9500, 950, 8550)
+	d0.MustInsert(90000, 22500, 67500)
+	d0.MustInsert(86000, 21500, 64500)
+	d0.MustInsert(86500, 21625, 64875)
+
+	// The logged queries — q1 carries the digit transposition.
+	history, err := qfix.ParseLog(sch, `
+		UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;
+		INSERT INTO Taxes VALUES (85800, 21450, 0);
+		UPDATE Taxes SET pay = income - owed
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("query history:")
+	for i, q := range history {
+		fmt.Printf("  q%d: %s\n", i+1, q.String(sch))
+	}
+
+	// Customers t3 and t4 report their correct amounts.
+	complaints := []qfix.Complaint{
+		{TupleID: 3, Exists: true, Values: []float64{86000, 21500, 64500}},
+		{TupleID: 4, Exists: true, Values: []float64{86500, 21625, 64875}},
+	}
+	fmt.Printf("\n%d complaints filed (t3, t4)\n", len(complaints))
+
+	start := time.Now()
+	rep, err := qfix.Diagnose(d0, history, complaints, qfix.Options{
+		Algorithm:    qfix.Incremental,
+		TupleSlicing: true,
+		QuerySlicing: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ndiagnosis in %v (complaints resolved: %v)\n",
+		time.Since(start).Round(time.Microsecond), rep.Resolved)
+	fmt.Printf("queries changed: %v, repair distance: %.1f\n\n", rep.Changed, rep.Distance)
+	fmt.Println("repaired history:")
+	for i, q := range rep.Log {
+		marker := " "
+		for _, c := range rep.Changed {
+			if c == i {
+				marker = "*"
+			}
+		}
+		fmt.Printf(" %s q%d: %s\n", marker, i+1, q.String(sch))
+	}
+
+	// Replaying the repair resolves the complaints.
+	final, err := qfix.Replay(rep.Log, d0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal state after repair:")
+	final.Rows(func(t qfix.Tuple) {
+		fmt.Printf("  t%d: income=%v owed=%v pay=%v\n",
+			t.ID, t.Values[0], t.Values[1], t.Values[2])
+	})
+}

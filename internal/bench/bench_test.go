@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 15 {
+		t.Errorf("expected 15 experiments (every figure + ex2 + ablation), got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := Lookup(e.ID); !ok {
+			t.Errorf("Lookup(%s) failed", e.ID)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup accepted unknown id")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{
+		"quick": Quick, "default": Default, "": Default, "large": Large, "paper": Large,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestExample2RunsAndResolves(t *testing.T) {
+	r := &Runner{Scale: Quick, Seed: 1}
+	table, err := r.Example2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	row := table.Rows[0]
+	if row.Solved != 1 || row.F1 < 0.99 {
+		t.Errorf("example 2 not fully repaired: %+v", row)
+	}
+	out := table.String()
+	if !strings.Contains(out, "ex2") || !strings.Contains(out, "qfix") {
+		t.Errorf("table rendering missing content:\n%s", out)
+	}
+}
+
+func TestFig9QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := &Runner{Scale: Quick, Seed: 1}
+	table, err := r.Fig9OLTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) < 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Every OLTP point should solve with perfect accuracy at this scale,
+	// and older corruptions should not be cheaper than fresh ones by a
+	// large margin (they scan more batches).
+	for _, row := range table.Rows {
+		if row.Solved < 1 {
+			t.Errorf("%s age=%s unsolved", row.Series, row.X)
+		}
+		if row.F1 < 0.99 {
+			t.Errorf("%s age=%s f1=%v", row.Series, row.X, row.F1)
+		}
+	}
+}
+
+func TestFig10QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := &Runner{Scale: Quick, Seed: 1}
+	table, err := r.Fig10DecTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qfixF1, decF1 float64
+	var n int
+	for _, row := range table.Rows {
+		switch row.Series {
+		case "qfix":
+			qfixF1 += row.F1
+			n++
+		case "dectree":
+			decF1 += row.F1
+		}
+	}
+	if n == 0 {
+		t.Fatal("no rows")
+	}
+	// The paper's headline comparison: QFix repairs exactly, DecTree
+	// repairs poorly.
+	if qfixF1/float64(n) < 0.9 {
+		t.Errorf("qfix mean F1 = %v", qfixF1/float64(n))
+	}
+	if decF1 >= qfixF1 {
+		t.Errorf("dectree (%v) should not beat qfix (%v)", decF1, qfixF1)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", XLabel: "n", Caption: "c"}
+	tb.Rows = append(tb.Rows, Row{Series: "s", X: "1", TimeMS: 1.234, Precision: 1, Recall: 0.5, F1: 0.66, Solved: 1, Note: "hi"})
+	out := tb.String()
+	for _, want := range []string{"## x — t", "series", "time_ms", "hi", "0.660"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAvgEmpty(t *testing.T) {
+	ms, acc, ok := avg(nil)
+	if ms != 0 || ok != 0 || acc.F1 != 0 {
+		t.Error("avg(nil) not zero")
+	}
+}

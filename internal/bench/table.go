@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one measured point of a figure: a series name, an x value, the
+// mean latency, and the mean accuracy across repetitions.
+type Row struct {
+	Series    string
+	X         string
+	TimeMS    float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Solved is the fraction of repetitions that produced a verified
+	// repair (timeouts and infeasibility count against it, as in §7.2).
+	Solved float64
+	// Note carries figure-specific extras (model rows, batches, ...).
+	Note string
+}
+
+// Table is the reproduction of one paper figure.
+type Table struct {
+	ID      string
+	Title   string
+	XLabel  string
+	Rows    []Row
+	Caption string
+}
+
+// String renders an aligned text table matching the series the paper
+// plots.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n", t.ID, t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	w := func(s string, n int) string {
+		if len(s) >= n {
+			return s
+		}
+		return s + strings.Repeat(" ", n-len(s))
+	}
+	sw, xw := 10, len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.Series) > sw {
+			sw = len(r.Series)
+		}
+		if len(r.X) > xw {
+			xw = len(r.X)
+		}
+	}
+	fmt.Fprintf(&b, "%s  %s  %10s  %9s  %7s  %7s  %7s  %s\n",
+		w("series", sw), w(t.XLabel, xw), "time_ms", "precision", "recall", "f1", "solved", "note")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s  %s  %10.1f  %9.3f  %7.3f  %7.3f  %7.2f  %s\n",
+			w(r.Series, sw), w(r.X, xw), r.TimeMS, r.Precision, r.Recall, r.F1, r.Solved, r.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/milp"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Diagnose runs QFix: it analyzes the log and the complaint set and
+// returns a log repair. A nil error with Repair.Resolved=false means the
+// search completed without finding a verified repair (the paper reports
+// these runs as infeasible/timeout); hard failures (malformed inputs)
+// return an error.
+func Diagnose(d0 *relation.Table, log []query.Query, complaints []Complaint, opt Options) (*Repair, error) {
+	opt = opt.withDefaults()
+	if len(log) == 0 {
+		return nil, fmt.Errorf("core: empty query log")
+	}
+	width := d0.Schema().Width()
+
+	dirtyFinal, err := query.Replay(log, d0)
+	if err != nil {
+		return nil, fmt.Errorf("core: replaying log: %w", err)
+	}
+	if len(complaints) == 0 {
+		// Nothing to diagnose: the identity repair is optimal.
+		return &Repair{Log: query.CloneLog(log), Resolved: true,
+			Stats: Stats{RelevantQueries: len(log), LastStatus: "trivial"}}, nil
+	}
+
+	d := &diagnoser{
+		opt: opt, d0: d0, log: log, complaints: complaints,
+		width: width, dirtyFinal: dirtyFinal,
+	}
+	d.plan()
+	if opt.TotalTimeLimit > 0 {
+		d.deadline = time.Now().Add(opt.TotalTimeLimit)
+	}
+
+	switch opt.Algorithm {
+	case Incremental:
+		if opt.Parallel > 1 {
+			return d.incrementalParallel()
+		}
+		return d.incremental()
+	default:
+		return d.basic()
+	}
+}
+
+type diagnoser struct {
+	opt        Options
+	d0         *relation.Table
+	log        []query.Query
+	complaints []Complaint
+	width      int
+	dirtyFinal *relation.Table
+	deadline   time.Time
+
+	// planning products
+	candidates []int // repair candidates (query slicing or all)
+	attrs      []int // encoded attributes (attr slicing or nil)
+	tupleIDs   []int64
+
+	stats Stats
+}
+
+// plan computes the slicing sets (§5.2–5.3) and the tuple slice (§5.1).
+func (d *diagnoser) plan() {
+	dirtyVals := make(map[int64][]float64, d.dirtyFinal.Len())
+	d.dirtyFinal.Rows(func(t relation.Tuple) {
+		dirtyVals[t.ID] = append([]float64(nil), t.Values...)
+	})
+	ac := complaintAttrs(d.complaints, dirtyVals, d.width)
+
+	if d.opt.QuerySlicing {
+		full := FullImpact(d.log, d.width)
+		d.candidates = relevantQueries(full, ac, d.opt.SingleCorruption)
+		if d.opt.AttrSlicing {
+			d.attrs = relevantAttrs(d.log, full, d.candidates, ac)
+		}
+	} else {
+		d.candidates = make([]int, len(d.log))
+		for i := range d.log {
+			d.candidates[i] = i
+		}
+		if d.opt.AttrSlicing {
+			full := FullImpact(d.log, d.width)
+			d.attrs = relevantAttrs(d.log, full, d.candidates, ac)
+		}
+	}
+	if d.opt.Candidates != nil {
+		allowed := make(map[int]bool, len(d.opt.Candidates))
+		for _, i := range d.opt.Candidates {
+			allowed[i] = true
+		}
+		var kept []int
+		for _, i := range d.candidates {
+			if allowed[i] {
+				kept = append(kept, i)
+			}
+		}
+		d.candidates = kept
+	}
+	d.stats.RelevantQueries = len(d.candidates)
+
+	if d.opt.TupleSlicing {
+		d.tupleIDs = make([]int64, 0, len(d.complaints))
+		for _, c := range d.complaints {
+			d.tupleIDs = append(d.tupleIDs, c.TupleID)
+		}
+	}
+}
+
+// encComplaints converts to the encoder's complaint type.
+func (d *diagnoser) encComplaints() []encode.Complaint {
+	out := make([]encode.Complaint, len(d.complaints))
+	for i, c := range d.complaints {
+		out[i] = encode.Complaint{TupleID: c.TupleID, Exists: c.Exists, Values: c.Values}
+	}
+	return out
+}
+
+// attempt encodes the given parameter set over the given log and solves,
+// returning the repaired log when the solver finds a solution. Solver
+// statistics accumulate into st (shared for the sequential scan,
+// per-worker under the parallel scan).
+func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft []int64, st *Stats) ([]query.Query, bool, error) {
+	eo := d.opt.encOptions()
+	eo.ParamQueries = paramSet
+	eo.TupleIDs = d.tupleIDs
+	eo.Attrs = d.attrs
+	eo.FixNonComplaints = !d.opt.TupleSlicing
+	eo.SoftTupleIDs = soft
+
+	t0 := time.Now()
+	res, err := encode.Encode(d.d0, baseLog, d.encComplaints(), eo)
+	st.EncodeTime += time.Since(t0)
+	if err != nil {
+		return nil, false, err
+	}
+	st.Rows += res.Stats.Rows
+	st.Vars += res.Stats.Vars
+	st.Binaries += res.Stats.Binaries
+	st.BatchesTried++
+
+	limit := d.opt.TimeLimit
+	if !d.deadline.IsZero() {
+		remain := time.Until(d.deadline)
+		if remain <= 0 {
+			st.LastStatus = "total-time-limit"
+			return nil, false, nil
+		}
+		if remain < limit {
+			limit = remain
+		}
+	}
+	t1 := time.Now()
+	mres, vals := res.SolveOpts(milp.Options{
+		TimeLimit: limit, MaxNodes: d.opt.MaxNodes, ColdLP: d.opt.ColdLP})
+	st.SolveTime += time.Since(t1)
+	st.Nodes += mres.Nodes
+	st.LPIters += mres.LPIters
+	st.LastStatus = mres.Status.String()
+	if !mres.HasSolution {
+		return nil, false, nil
+	}
+
+	repaired := query.CloneLog(baseLog)
+	byQuery := map[int][]float64{}
+	for qi := range repaired {
+		byQuery[qi] = repaired[qi].Params()
+	}
+	for i, ref := range res.Params {
+		byQuery[ref.Query][ref.Index] = vals[i]
+	}
+	for qi, q := range repaired {
+		if err := q.SetParams(byQuery[qi]); err != nil {
+			return nil, false, fmt.Errorf("core: applying repair to query %d: %w", qi, err)
+		}
+	}
+	return repaired, true, nil
+}
+
+// basic runs Algorithm 1: one MILP parameterizing every candidate query.
+func (d *diagnoser) basic() (*Repair, error) {
+	paramSet := make(map[int]bool, len(d.candidates))
+	for _, i := range d.candidates {
+		paramSet[i] = true
+	}
+	repaired, ok, err := d.attempt(d.log, paramSet, nil, &d.stats)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return d.finish(nil), nil
+	}
+	repaired = d.maybeRefine(repaired, paramSet, &d.stats)
+	return d.finish(repaired), nil
+}
+
+// incremental runs Algorithm 3: batches of K consecutive candidates,
+// newest first. A verified repair that leaves every non-complaint tuple
+// at its dirty value is returned immediately. A repair that resolves the
+// complaints but disturbs other tuples is kept as a fallback while older
+// batches are scanned — without tuple slicing this cannot happen (hard
+// constraints forbid disturbance, as in the paper's Basic_params), and
+// with tuple slicing this gate is what keeps repair precision high when
+// a newer query admits a spurious fix.
+func (d *diagnoser) incremental() (*Repair, error) {
+	// Candidates sorted most to least recent.
+	cands := append([]int(nil), d.candidates...)
+	for i, j := 0, len(cands)-1; i < j; i, j = i+1, j-1 {
+		cands[i], cands[j] = cands[j], cands[i]
+	}
+	var fallback *Repair
+	fallbackDamage := 0
+	k := d.opt.K
+	for start := 0; start < len(cands); start += k {
+		if !d.deadline.IsZero() && time.Now().After(d.deadline) {
+			d.stats.LastStatus = "total-time-limit"
+			break
+		}
+		end := start + k
+		if end > len(cands) {
+			end = len(cands)
+		}
+		paramSet := make(map[int]bool, end-start)
+		for _, qi := range cands[start:end] {
+			paramSet[qi] = true
+		}
+		repaired, ok, err := d.attempt(d.log, paramSet, nil, &d.stats)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		repaired = d.maybeRefine(repaired, paramSet, &d.stats)
+		rep := d.finish(repaired)
+		if !rep.Resolved {
+			continue // failed replay verification; scan older batches
+		}
+		damage := d.nonComplaintDamage(rep.Log)
+		if damage == 0 {
+			return rep, nil
+		}
+		if fallback == nil || damage < fallbackDamage ||
+			(damage == fallbackDamage && rep.Distance < fallback.Distance) {
+			fallback, fallbackDamage = rep, damage
+		}
+	}
+	if fallback != nil {
+		fallback.Stats = d.stats
+		return fallback, nil
+	}
+	return d.finish(nil), nil
+}
+
+// nonComplaintDamage counts non-complaint tuples whose replayed final
+// state differs from the dirty final state under the repair.
+func (d *diagnoser) nonComplaintDamage(repaired []query.Query) int {
+	final, err := query.Replay(repaired, d.d0)
+	if err != nil {
+		return int(^uint(0) >> 1)
+	}
+	complaintIDs := make(map[int64]bool, len(d.complaints))
+	for _, c := range d.complaints {
+		complaintIDs[c.TupleID] = true
+	}
+	n := 0
+	for _, df := range relation.DiffTables(d.dirtyFinal, final, 1e-9) {
+		if !complaintIDs[df.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// maybeRefine runs the §5.1 step-2 refinement: if the step-1 repair
+// touches non-complaint tuples, re-solve with those tuples soft and an
+// objective that minimizes how many stay affected. The step iterates (up
+// to a small bound) because excluding one batch of non-complaint tuples
+// can move the repaired clause onto previously untouched tuples the
+// earlier soft set did not cover; the soft set accumulates across rounds.
+func (d *diagnoser) maybeRefine(repaired []query.Query, paramSet map[int]bool, st *Stats) []query.Query {
+	if !d.opt.TupleSlicing || d.opt.SkipRefine {
+		return repaired
+	}
+	complaintIDs := make(map[int64]bool, len(d.complaints))
+	for _, c := range d.complaints {
+		complaintIDs[c.TupleID] = true
+	}
+	// The paper's refinement MILP is "significantly smaller" than step 1
+	// (§5.1); if the step-1 repair disturbed a huge set of tuples, a full
+	// re-encode would dwarf it. Cap how many NEW soft tuples each round
+	// may add (a global cap would starve later rounds and fake
+	// convergence); the incremental loop's damage gate re-checks the
+	// final replay regardless.
+	const maxSoftPerRound = 60
+	const maxRounds = 3
+
+	softSet := make(map[int64]bool)
+	var soft []int64
+	for round := 0; round < maxRounds; round++ {
+		repairedFinal, err := query.Replay(repaired, d.d0)
+		if err != nil {
+			return repaired
+		}
+		fresh := 0
+		for _, df := range relation.DiffTables(d.dirtyFinal, repairedFinal, 1e-9) {
+			if complaintIDs[df.ID] || softSet[df.ID] {
+				continue
+			}
+			if fresh >= maxSoftPerRound {
+				break
+			}
+			softSet[df.ID] = true
+			soft = append(soft, df.ID)
+			fresh++
+		}
+		if fresh == 0 {
+			return repaired // converged: no newly affected tuples
+		}
+		st.Refined = true
+		// Re-encode over the *repaired* log so distance is measured from
+		// the current solution, parameterizing only the repaired queries.
+		refined, ok, err := d.attempt(repaired, paramSet, soft, st)
+		if err != nil || !ok {
+			return repaired
+		}
+		repaired = refined
+	}
+	return repaired
+}
+
+// finish verifies and packages the repair.
+func (d *diagnoser) finish(repaired []query.Query) *Repair {
+	if repaired == nil {
+		return &Repair{Log: query.CloneLog(d.log), Resolved: false, Stats: d.stats}
+	}
+	rep := &Repair{Log: repaired, Stats: d.stats}
+	rep.Distance = query.Distance(d.log, repaired)
+	origParams := make([][]float64, len(d.log))
+	for i, q := range d.log {
+		origParams[i] = q.Params()
+	}
+	for i, q := range repaired {
+		rp := q.Params()
+		for j := range rp {
+			if math.Abs(rp[j]-origParams[i][j]) > 1e-9 {
+				rep.Changed = append(rep.Changed, i)
+				break
+			}
+		}
+	}
+	rep.Resolved = d.verify(repaired)
+	return rep
+}
+
+// verify replays the repaired log and checks every complaint against the
+// resulting final state.
+func (d *diagnoser) verify(repaired []query.Query) bool {
+	final, err := query.Replay(repaired, d.d0)
+	if err != nil {
+		return false
+	}
+	return ComplaintsResolved(final, d.complaints, 1e-6)
+}
+
+// ComplaintsResolved checks a final state against a complaint set.
+func ComplaintsResolved(final *relation.Table, complaints []Complaint, eps float64) bool {
+	for _, c := range complaints {
+		t, ok := final.Get(c.TupleID)
+		if c.Exists != ok {
+			return false
+		}
+		if !c.Exists {
+			continue
+		}
+		for a, want := range c.Values {
+			if math.Abs(t.Values[a]-want) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

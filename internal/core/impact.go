@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/query"
+)
+
+// FullImpact computes F(q) for every query in the log (Definition 7,
+// Algorithm 2): the transitive closure of each query's written attributes
+// through later queries that read them. Computed back-to-front so each
+// F(qj) is final when earlier queries consult it, giving O(n²) set work
+// rather than the naive O(n³).
+func FullImpact(log []query.Query, width int) []query.AttrSet {
+	n := len(log)
+	full := make([]query.AttrSet, n)
+	deps := make([]query.AttrSet, n)
+	for i, q := range log {
+		deps[i] = query.Dependency(q)
+	}
+	for i := n - 1; i >= 0; i-- {
+		f := query.DirectImpact(log[i], width)
+		for j := i + 1; j < n; j++ {
+			if f.Intersects(deps[j]) {
+				f.Union(full[j])
+			}
+		}
+		full[i] = f
+	}
+	return full
+}
+
+// complaintAttrs computes A(C) (Definition 6) against the dirty final
+// state: the attributes identified as incorrect. Value complaints
+// contribute the attributes where the target disagrees with the dirty
+// final state; existence complaints (insert/delete repairs) contribute
+// every attribute.
+func complaintAttrs(complaints []Complaint, dirtyVals map[int64][]float64, width int) query.AttrSet {
+	a := make(query.AttrSet)
+	for _, c := range complaints {
+		dirty, inFinal := dirtyVals[c.TupleID]
+		if !c.Exists || !inFinal {
+			// Tuple existence is wrong: every attribute is implicated.
+			for i := 0; i < width; i++ {
+				a[i] = true
+			}
+			continue
+		}
+		for i := 0; i < width; i++ {
+			if dirty[i] != c.Values[i] {
+				a[i] = true
+			}
+		}
+	}
+	return a
+}
+
+// relevantQueries applies query slicing (§5.2): candidates are queries
+// whose full impact intersects A(C); under the single-corruption
+// assumption, queries whose full impact covers all of A(C).
+func relevantQueries(full []query.AttrSet, ac query.AttrSet, single bool) []int {
+	var rel []int
+	for i, f := range full {
+		if single {
+			if f.ContainsAll(ac) {
+				rel = append(rel, i)
+			}
+		} else if f.Intersects(ac) {
+			rel = append(rel, i)
+		}
+	}
+	return rel
+}
+
+// relevantAttrs applies attribute slicing (§5.3): the union of full
+// impacts and dependencies of relevant queries, always including A(C).
+func relevantAttrs(log []query.Query, full []query.AttrSet, rel []int, ac query.AttrSet) []int {
+	s := ac.Clone()
+	for _, i := range rel {
+		s.Union(full[i])
+		s.Union(query.Dependency(log[i]))
+	}
+	return s.Sorted()
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+)
+
+// incrementalParallel runs the Inc_k batch scan with Options.Parallel
+// workers. Batches are independent MILPs, so they solve concurrently;
+// the *choice* stays deterministic and identical to the sequential scan:
+// batches are adjudicated in newest-first order, the first clean repair
+// wins, and the least-damaging resolved repair is the fallback. Workers
+// that are still running batches older than an accepted result are
+// abandoned (their statistics still count).
+//
+// This addresses the paper's closing direction ("we plan to investigate
+// additional methods of scaling the constraint analysis") with the
+// natural Go construction.
+func (d *diagnoser) incrementalParallel() (*Repair, error) {
+	cands := append([]int(nil), d.candidates...)
+	for i, j := 0, len(cands)-1; i < j; i, j = i+1, j-1 {
+		cands[i], cands[j] = cands[j], cands[i]
+	}
+	k := d.opt.K
+	var batches [][]int
+	for start := 0; start < len(cands); start += k {
+		end := start + k
+		if end > len(cands) {
+			end = len(cands)
+		}
+		batches = append(batches, cands[start:end])
+	}
+	if len(batches) == 0 {
+		return d.finish(nil), nil
+	}
+
+	type outcome struct {
+		repaired []query.Query // nil: no solution for this batch
+		err      error
+		stats    Stats
+	}
+	results := make([]chan outcome, len(batches))
+	for i := range results {
+		results[i] = make(chan outcome, 1)
+	}
+
+	var stop atomic.Bool
+	sem := make(chan struct{}, d.opt.Parallel)
+	var wg sync.WaitGroup
+	for bi, batch := range batches {
+		wg.Add(1)
+		go func(bi int, batch []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var st Stats
+			if stop.Load() || (!d.deadline.IsZero() && time.Now().After(d.deadline)) {
+				st.LastStatus = "skipped"
+				results[bi] <- outcome{stats: st}
+				return
+			}
+			paramSet := make(map[int]bool, len(batch))
+			for _, qi := range batch {
+				paramSet[qi] = true
+			}
+			repaired, ok, err := d.attempt(d.log, paramSet, nil, &st)
+			if err == nil && ok {
+				repaired = d.maybeRefine(repaired, paramSet, &st)
+			} else {
+				repaired = nil
+			}
+			results[bi] <- outcome{repaired: repaired, err: err, stats: st}
+		}(bi, batch)
+	}
+
+	// Adjudicate in order; merge worker statistics as they arrive.
+	var fallback *Repair
+	fallbackDamage := 0
+	var firstErr error
+	decided := false
+	var winner *Repair
+	for bi := range batches {
+		out := <-results[bi]
+		d.mergeStats(out.stats)
+		if out.err != nil && firstErr == nil {
+			firstErr = out.err
+		}
+		if decided || out.repaired == nil {
+			continue
+		}
+		rep := d.finish(out.repaired)
+		if !rep.Resolved {
+			continue
+		}
+		damage := d.nonComplaintDamage(rep.Log)
+		if damage == 0 {
+			winner = rep
+			decided = true
+			stop.Store(true) // later (older) batches need not start
+			continue
+		}
+		if fallback == nil || damage < fallbackDamage ||
+			(damage == fallbackDamage && rep.Distance < fallback.Distance) {
+			fallback, fallbackDamage = rep, damage
+		}
+	}
+	wg.Wait()
+
+	if firstErr != nil && winner == nil && fallback == nil {
+		return nil, firstErr
+	}
+	if winner != nil {
+		winner.Stats = d.stats
+		return winner, nil
+	}
+	if fallback != nil {
+		fallback.Stats = d.stats
+		return fallback, nil
+	}
+	return d.finish(nil), nil
+}
+
+// mergeStats folds a worker's statistics into the shared totals. Called
+// only from the adjudication goroutine.
+func (d *diagnoser) mergeStats(st Stats) {
+	d.stats.Rows += st.Rows
+	d.stats.Vars += st.Vars
+	d.stats.Binaries += st.Binaries
+	d.stats.BatchesTried += st.BatchesTried
+	d.stats.Nodes += st.Nodes
+	d.stats.LPIters += st.LPIters
+	d.stats.EncodeTime += st.EncodeTime
+	d.stats.SolveTime += st.SolveTime
+	if st.Refined {
+		d.stats.Refined = true
+	}
+	if st.LastStatus != "" {
+		d.stats.LastStatus = st.LastStatus
+	}
+}

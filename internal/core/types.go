@@ -1,0 +1,178 @@
+// Package core implements QFix itself: given an initial database state, a
+// log of update queries, and a set of complaints about the final state,
+// it finds the minimal-distance parameter repair of the log that resolves
+// every complaint (paper Definition 5, "optimal diagnosis").
+//
+// The package wires together the paper's algorithms: the basic MILP
+// formulation (Algorithm 1, §4), the slicing optimizations (§5.1–5.3),
+// and the incremental repair Inc_k (Algorithm 3, §5.4) with the
+// tuple-slicing refinement step (§5.1 step 2).
+package core
+
+import (
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Complaint identifies one tuple of the final state together with its
+// correct value assignment (Definition 4): the tuple with ID TupleID
+// should equal Values (Exists=true), or should have been deleted
+// (Exists=false).
+type Complaint struct {
+	TupleID int64
+	Exists  bool
+	Values  []float64
+}
+
+// ComplaintsFromDiff derives the complete complaint set between the dirty
+// final state and the true final state (the experimental setup of §7.1:
+// "perform a tuple-wise comparison between the resulting database states
+// to generate a true complaint set").
+func ComplaintsFromDiff(dirty, truth *relation.Table, eps float64) []Complaint {
+	var out []Complaint
+	for _, d := range relation.DiffTables(dirty, truth, eps) {
+		switch {
+		case d.After == nil:
+			out = append(out, Complaint{TupleID: d.ID, Exists: false})
+		default:
+			out = append(out, Complaint{TupleID: d.ID, Exists: true,
+				Values: append([]float64(nil), d.After.Values...)})
+		}
+	}
+	return out
+}
+
+// Algorithm selects the diagnosis strategy.
+type Algorithm int
+
+// Strategies.
+const (
+	// Basic encodes the whole log in one MILP (Algorithm 1).
+	Basic Algorithm = iota
+	// Incremental parameterizes K consecutive queries at a time, newest
+	// first, and stops at the first verified repair (Algorithm 3).
+	Incremental
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if a == Incremental {
+		return "incremental"
+	}
+	return "basic"
+}
+
+// Options selects the algorithm and optimizations.
+type Options struct {
+	Algorithm Algorithm
+	// K is the incremental batch size (default 1; the paper finds k>1
+	// impractical, §7.2).
+	K int
+	// Parallel > 1 scans incremental batches with that many concurrent
+	// workers. The chosen repair is identical to the sequential scan
+	// (batches are adjudicated newest-first); only wall-clock time and
+	// wasted-work statistics differ. Extension beyond the paper.
+	Parallel int
+
+	// TupleSlicing encodes only complaint tuples (§5.1) and enables the
+	// refinement step unless SkipRefine is set.
+	TupleSlicing bool
+	// QuerySlicing restricts repair candidates to queries whose full
+	// impact intersects the complaint attributes (§5.2).
+	QuerySlicing bool
+	// AttrSlicing encodes only attributes reachable from relevant
+	// queries (§5.3).
+	AttrSlicing bool
+	// SingleCorruption strengthens query slicing to candidates whose
+	// full impact covers every complaint attribute (§5.2's special case).
+	SingleCorruption bool
+	// SkipRefine disables the §5.1 step-2 refinement MILP.
+	SkipRefine bool
+
+	// Candidates, when non-nil, overrides the repair-candidate set with
+	// explicit log indices (used by experiments that fix the
+	// parameterized query, e.g. Figure 4's single-parameterization
+	// series). Query slicing still intersects with it.
+	Candidates []int
+
+	// TimeLimit bounds each MILP solve (the paper uses a 1000-second
+	// CPLEX limit; default here 60s).
+	TimeLimit time.Duration
+	// TotalTimeLimit bounds the whole diagnosis across incremental
+	// batches (0 = none).
+	TotalTimeLimit time.Duration
+	// MaxNodes bounds branch-and-bound nodes per solve (0 = default).
+	MaxNodes int
+
+	// DomainBound, Eps, Normalize pass through to the encoder.
+	DomainBound float64
+	Eps         float64
+	Normalize   bool
+
+	// Ablation switches (extensions beyond the paper; see DESIGN.md):
+	// NoFolding disables the encoder's constant-folding presolve,
+	// NoParamWindows disables predicate-parameter window tightening,
+	// ColdLP disables warm-started LP relaxations in branch-and-bound.
+	NoFolding      bool
+	NoParamWindows bool
+	ColdLP         bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 1
+	}
+	if o.TimeLimit <= 0 {
+		o.TimeLimit = 60 * time.Second
+	}
+	return o
+}
+
+// Stats reports how a diagnosis went.
+type Stats struct {
+	// Encode aggregates encoder sizes across every attempted batch.
+	Rows, Vars, Binaries int
+	// BatchesTried counts encode+solve attempts (1 for basic).
+	BatchesTried int
+	// RelevantQueries is the candidate set size after query slicing
+	// (len(log) when slicing is off).
+	RelevantQueries int
+	// Nodes and LPIters total across solves.
+	Nodes, LPIters int
+	// EncodeTime and SolveTime split the wall clock.
+	EncodeTime time.Duration
+	SolveTime  time.Duration
+	// Refined tells whether the step-2 refinement ran.
+	Refined bool
+	// LastStatus is the MILP status of the final (successful or last
+	// attempted) solve.
+	LastStatus string
+}
+
+// Repair is a log repair Q* (Definition 5) plus bookkeeping.
+type Repair struct {
+	// Log is the repaired query log, structurally identical to the input.
+	Log []query.Query
+	// Changed lists indices of queries whose parameters moved.
+	Changed []int
+	// Distance is the Manhattan distance d(Q, Q*) to the original log.
+	Distance float64
+	// Resolved reports that replaying Log from D0 satisfies every
+	// complaint (verified by execution, not just by the MILP).
+	Resolved bool
+	Stats    Stats
+}
+
+// encOptions builds encoder options shared by all strategies.
+func (o Options) encOptions() encode.Options {
+	return encode.Options{
+		DomainBound:    o.DomainBound,
+		Eps:            o.Eps,
+		Normalize:      o.Normalize,
+		NoFolding:      o.NoFolding,
+		NoParamWindows: o.NoParamWindows,
+	}
+}

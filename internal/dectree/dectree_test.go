@@ -1,0 +1,215 @@
+package dectree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func TestBuildSeparableConcept(t *testing.T) {
+	// Concept: a0 in [30, 60].
+	var features [][]float64
+	var labels []bool
+	for v := 0.0; v <= 100; v += 2 {
+		features = append(features, []float64{v, 50})
+		labels = append(labels, v >= 30 && v <= 60)
+	}
+	tree := Build(features, labels, Options{})
+	errs := 0
+	for i, f := range features {
+		if tree.Predict(f) != labels[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Errorf("tree misclassifies %d/%d training samples", errs, len(features))
+	}
+	cond := tree.Cond()
+	// The learned condition must behave like the concept on fresh points.
+	for _, v := range []float64{10, 35, 45, 59, 75} {
+		want := v >= 30 && v <= 60
+		if got := cond.Eval([]float64{v, 50}); got != want {
+			t.Errorf("cond(%v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestPureLeaves(t *testing.T) {
+	tree := Build([][]float64{{1}, {2}, {3}}, []bool{true, true, true}, Options{})
+	if !tree.Predict([]float64{99}) {
+		t.Error("all-true training should predict true")
+	}
+	if _, ok := tree.Cond().(query.True); !ok {
+		t.Errorf("all-true concept should be TRUE, got %T", tree.Cond())
+	}
+	tree2 := Build([][]float64{{1}, {2}, {3}}, []bool{false, false, false}, Options{})
+	if tree2.Predict([]float64{2}) {
+		t.Error("all-false training should predict false")
+	}
+	or, ok := tree2.Cond().(*query.Or)
+	if !ok || len(or.Kids) != 0 {
+		t.Errorf("all-false concept should be empty Or (FALSE), got %#v", tree2.Cond())
+	}
+}
+
+func TestHighSelectivityFailureMode(t *testing.T) {
+	// Appendix A: a single changed tuple among many is ignored by the
+	// learner (imbalanced classes + MinLeaf), yielding rule FALSE.
+	var features [][]float64
+	labels := make([]bool, 200)
+	for i := 0; i < 200; i++ {
+		features = append(features, []float64{float64(i)})
+	}
+	labels[117] = true
+	tree := Build(features, labels, Options{})
+	matched := 0
+	for _, f := range features {
+		if tree.Predict(f) {
+			matched++
+		}
+	}
+	if matched != 0 {
+		t.Errorf("expected the singleton class to be ignored, matched %d", matched)
+	}
+}
+
+func TestRulesRoundTrip(t *testing.T) {
+	// Predictions and Cond().Eval must agree everywhere.
+	rng := rand.New(rand.NewSource(7))
+	var features [][]float64
+	var labels []bool
+	for i := 0; i < 150; i++ {
+		f := []float64{float64(rng.Intn(100)), float64(rng.Intn(100))}
+		features = append(features, f)
+		labels = append(labels, f[0] > 40 && f[1] <= 70)
+	}
+	tree := Build(features, labels, Options{})
+	cond := tree.Cond()
+	for i := 0; i < 500; i++ {
+		x := []float64{float64(rng.Intn(100)), float64(rng.Intn(100))}
+		if tree.Predict(x) != cond.Eval(x) {
+			t.Fatalf("Predict and Cond disagree on %v", x)
+		}
+	}
+}
+
+// Property: tree predictions always agree with the extracted condition.
+func TestQuickPredictCondAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 10
+		var features [][]float64
+		var labels []bool
+		for i := 0; i < n; i++ {
+			features = append(features, []float64{float64(rng.Intn(50)), float64(rng.Intn(50))})
+			labels = append(labels, rng.Intn(2) == 0)
+		}
+		tree := Build(features, labels, Options{MaxDepth: 5})
+		cond := tree.Cond()
+		for i := 0; i < 100; i++ {
+			x := []float64{float64(rng.Intn(50)), float64(rng.Intn(50))}
+			if tree.Predict(x) != cond.Eval(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepairQueryRecoversSimpleCorruption(t *testing.T) {
+	// Favourable case for DecTree: wide range, constant SET, many changed
+	// tuples. It should roughly recover the query.
+	w := workload.MustGenerate(workload.Config{ND: 200, Na: 3, Nq: 1, Seed: 31, Range: 80})
+	in, err := w.MakeInstance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Complaints) < 5 {
+		t.Skip("not enough signal for this seed")
+	}
+	repaired, err := RepairQuery(w.D0, in.Dirty[0].(*query.Update), in.TruthFinal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := in.Evaluate([]query.Query{repaired})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DecTree is lossy; demand rough recovery only (F1 >= 0.5 in its
+	// favourable regime, cf. Figure 10's starting point).
+	if acc.F1 < 0.5 {
+		t.Errorf("F1 = %v (%+v)", acc.F1, acc)
+	}
+}
+
+func TestRepairQuerySetConstant(t *testing.T) {
+	// Hand-built: truth sets a1=77 for a0 >= 50; dirty used 12 and a
+	// wrong predicate. The learner must recover both the region and 77.
+	sch := relation.MustSchema("T", []string{"a0", "a1"}, "")
+	d0 := relation.NewTable(sch)
+	for i := 0; i < 100; i++ {
+		d0.MustInsert(float64(i), 5)
+	}
+	truthQ := query.NewUpdate([]query.SetClause{{Attr: 1, Expr: query.ConstExpr(77)}},
+		query.AttrPred(0, query.GE, 50))
+	dirtyQ := query.NewUpdate([]query.SetClause{{Attr: 1, Expr: query.ConstExpr(12)}},
+		query.AttrPred(0, query.GE, 20))
+	truth, err := query.Replay([]query.Query{truthQ}, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := RepairQuery(d0, dirtyQ, truth, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.Set[0].Expr.Const != 77 {
+		t.Errorf("SET const = %v, want 77", repaired.Set[0].Expr.Const)
+	}
+	repFinal, err := query.Replay([]query.Query{repaired}, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := relation.DiffTables(repFinal, truth, 1e-9)
+	if len(diffs) > 4 {
+		t.Errorf("repaired state differs from truth on %d tuples", len(diffs))
+	}
+}
+
+func TestRepairQueryRelativeSet(t *testing.T) {
+	// Relative clause: truth a1 = a1 + 10 for a0 <= 30; recover the +10.
+	sch := relation.MustSchema("T", []string{"a0", "a1"}, "")
+	d0 := relation.NewTable(sch)
+	for i := 0; i < 80; i++ {
+		d0.MustInsert(float64(i), float64(i%7))
+	}
+	truthQ := query.NewUpdate([]query.SetClause{{Attr: 1,
+		Expr: query.NewLinExpr(10, query.Term{Attr: 1, Coef: 1})}},
+		query.AttrPred(0, query.LE, 30))
+	dirtyQ := query.NewUpdate([]query.SetClause{{Attr: 1,
+		Expr: query.NewLinExpr(99, query.Term{Attr: 1, Coef: 1})}},
+		query.AttrPred(0, query.LE, 55))
+	truth, _ := query.Replay([]query.Query{truthQ}, d0)
+	repaired, err := RepairQuery(d0, dirtyQ, truth, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.Set[0].Expr.Const != 10 {
+		t.Errorf("relative const = %v, want 10", repaired.Set[0].Expr.Const)
+	}
+}
+
+func TestRepairQueryEmptyState(t *testing.T) {
+	sch := relation.MustSchema("T", []string{"a0"}, "")
+	d0 := relation.NewTable(sch)
+	q := query.NewUpdate([]query.SetClause{{Attr: 0, Expr: query.ConstExpr(1)}}, nil)
+	if _, err := RepairQuery(d0, q, d0.Clone(), Options{}); err == nil {
+		t.Error("empty state accepted")
+	}
+}

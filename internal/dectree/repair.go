@@ -1,0 +1,85 @@
+package dectree
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// RepairQuery implements the two-step DecTree baseline (Appendix A) for a
+// single-query log: learn the WHERE clause from changed/unchanged labels
+// over D0, then solve a small linear system for the SET clause constants.
+//
+// d0 is the state before the corrupted query; truth is the correct state
+// after it (in the appendix's setup, the dirty final state with the
+// complete complaint set applied); dirty is the corrupted query whose
+// SET-clause *structure* (which attributes, constant vs relative) is
+// reused, mirroring how QFix repairs parameters rather than structure.
+func RepairQuery(d0 *relation.Table, dirty *query.Update, truth *relation.Table, opt Options) (*query.Update, error) {
+	// Label every D0 tuple: did it change between D0 and truth?
+	var features [][]float64
+	var labels []bool
+	var changedIDs []int64
+	d0.Rows(func(t relation.Tuple) {
+		features = append(features, append([]float64(nil), t.Values...))
+		after, ok := truth.Get(t.ID)
+		changed := ok && !t.Equal(after, 1e-9)
+		labels = append(labels, changed)
+		if changed {
+			changedIDs = append(changedIDs, t.ID)
+		}
+	})
+	if len(features) == 0 {
+		return nil, fmt.Errorf("dectree: empty initial state")
+	}
+
+	tree := Build(features, labels, opt)
+	where := tree.Cond()
+
+	// SET repair: each clause's constant comes from a linear system over
+	// the changed tuples: target = expr(old) for the clause's attribute.
+	repaired := dirty.Clone().(*query.Update)
+	repaired.Where = where
+	for si, sc := range repaired.Set {
+		c, err := solveSetConst(sc, changedIDs, d0, truth)
+		if err != nil {
+			// Keep the dirty constant: no evidence to update it (e.g. the
+			// tree matched nothing). This mirrors the baseline's failure
+			// mode rather than hiding it.
+			continue
+		}
+		repaired.Set[si].Expr.Const = c
+		_ = si
+	}
+	return repaired, nil
+}
+
+// solveSetConst solves for the constant of one SET clause: for each
+// changed tuple, target.Attr = (expr without const)(old) + c, a linear
+// system in the single unknown c; solved by least squares (the mean of
+// the per-tuple estimates), as in Appendix A's "simple linear system of
+// equations".
+func solveSetConst(sc query.SetClause, changedIDs []int64, d0, truth *relation.Table) (float64, error) {
+	if len(changedIDs) == 0 {
+		return 0, fmt.Errorf("dectree: no changed tuples")
+	}
+	sum, n := 0.0, 0
+	for _, id := range changedIDs {
+		before, ok1 := d0.Get(id)
+		after, ok2 := truth.Get(id)
+		if !ok1 || !ok2 {
+			continue
+		}
+		base := 0.0
+		for _, tm := range sc.Expr.Terms {
+			base += tm.Coef * before.Values[tm.Attr]
+		}
+		sum += after.Values[sc.Attr] - base
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("dectree: no usable evidence")
+	}
+	return sum / float64(n), nil
+}

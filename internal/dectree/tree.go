@@ -1,0 +1,236 @@
+// Package dectree implements the decision-tree repair baseline of the
+// QFix paper's Appendix A: a C4.5-style rule learner re-derives the WHERE
+// clause of a single corrupted UPDATE from tuples labeled
+// changed/unchanged, and a linear-system solve re-derives the SET clause.
+// The appendix (and Figure 10) shows this baseline is fast but produces
+// low-quality repairs; this package exists to reproduce that comparison.
+package dectree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Options tunes tree induction.
+type Options struct {
+	// MaxDepth bounds tree depth (default 8).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2, C4.5's
+	// default); it is the baseline's overfitting guard and the reason
+	// highly selective updates are missed (Appendix A, "High
+	// Selectivity, Low Precision").
+	MinLeaf int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 8
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 2
+	}
+	return o
+}
+
+// Tree is a binary decision tree over numeric features with boolean
+// labels.
+type Tree struct {
+	root *node
+	opt  Options
+}
+
+type node struct {
+	leaf  bool
+	label bool
+	attr  int
+	thr   float64 // left: feature[attr] <= thr; right: > thr
+	left  *node
+	right *node
+}
+
+// Build induces a tree from the feature matrix (rows are samples) and
+// labels using gain-ratio splitting on numeric thresholds.
+func Build(features [][]float64, labels []bool, opt Options) *Tree {
+	opt = opt.withDefaults()
+	idx := make([]int, len(features))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{opt: opt}
+	t.root = t.grow(features, labels, idx, 0)
+	return t
+}
+
+// grow recursively splits the sample set.
+func (t *Tree) grow(features [][]float64, labels []bool, idx []int, depth int) *node {
+	pos := 0
+	for _, i := range idx {
+		if labels[i] {
+			pos++
+		}
+	}
+	majority := pos*2 >= len(idx)
+	if pos == 0 || pos == len(idx) || depth >= t.opt.MaxDepth || len(idx) < 2*t.opt.MinLeaf {
+		return &node{leaf: true, label: majority}
+	}
+
+	attr, thr, ok := t.bestSplit(features, labels, idx)
+	if !ok {
+		return &node{leaf: true, label: majority}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if features[i][attr] <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < t.opt.MinLeaf || len(ri) < t.opt.MinLeaf {
+		return &node{leaf: true, label: majority}
+	}
+	return &node{
+		attr: attr, thr: thr,
+		left:  t.grow(features, labels, li, depth+1),
+		right: t.grow(features, labels, ri, depth+1),
+	}
+}
+
+// entropy of a boolean split.
+func entropy(pos, n int) float64 {
+	if n == 0 || pos == 0 || pos == n {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// bestSplit scans every attribute and candidate threshold, scoring by
+// gain ratio (information gain normalized by split entropy, C4.5's
+// criterion).
+func (t *Tree) bestSplit(features [][]float64, labels []bool, idx []int) (int, float64, bool) {
+	n := len(idx)
+	posAll := 0
+	for _, i := range idx {
+		if labels[i] {
+			posAll++
+		}
+	}
+	h := entropy(posAll, n)
+	bestGR, bestAttr, bestThr := 1e-9, -1, 0.0
+
+	width := len(features[idx[0]])
+	type vl struct {
+		v   float64
+		lab bool
+	}
+	vals := make([]vl, n)
+	for attr := 0; attr < width; attr++ {
+		for k, i := range idx {
+			vals[k] = vl{features[i][attr], labels[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		posLeft, nLeft := 0, 0
+		for k := 0; k < n-1; k++ {
+			if vals[k].lab {
+				posLeft++
+			}
+			nLeft++
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			// Candidate threshold between distinct values.
+			thr := (vals[k].v + vals[k+1].v) / 2
+			hl := entropy(posLeft, nLeft)
+			hr := entropy(posAll-posLeft, n-nLeft)
+			gain := h - (float64(nLeft)*hl+float64(n-nLeft)*hr)/float64(n)
+			split := entropy(nLeft, n)
+			if split == 0 {
+				continue
+			}
+			if gr := gain / split; gr > bestGR {
+				bestGR, bestAttr, bestThr = gr, attr, thr
+			}
+		}
+	}
+	return bestAttr, bestThr, bestAttr >= 0
+}
+
+// Predict classifies one feature vector.
+func (t *Tree) Predict(x []float64) bool {
+	n := t.root
+	for !n.leaf {
+		if x[n.attr] <= n.thr {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Rule is a conjunction of threshold predicates describing one
+// true-labeled leaf.
+type Rule struct {
+	Preds []RulePred
+}
+
+// RulePred is one decision on the path to a leaf.
+type RulePred struct {
+	Attr int
+	LE   bool // true: attr <= Thr; false: attr > Thr
+	Thr  float64
+}
+
+// Rules extracts the paths to all true leaves; their disjunction is the
+// learned concept (the re-derived WHERE clause).
+func (t *Tree) Rules() []Rule {
+	var out []Rule
+	var walk func(n *node, path []RulePred)
+	walk = func(n *node, path []RulePred) {
+		if n.leaf {
+			if n.label {
+				out = append(out, Rule{Preds: append([]RulePred(nil), path...)})
+			}
+			return
+		}
+		walk(n.left, append(path, RulePred{Attr: n.attr, LE: true, Thr: n.thr}))
+		walk(n.right, append(path, RulePred{Attr: n.attr, LE: false, Thr: n.thr}))
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// Cond converts the learned rules into a query condition: an OR of ANDed
+// comparison predicates (Appendix A, "Repairing the WHERE Clause").
+// A tree with no true leaves yields the empty Or (i.e. FALSE), which is
+// exactly the degenerate "rule FALSE" failure mode the appendix
+// describes for highly selective updates.
+func (t *Tree) Cond() query.Cond {
+	rules := t.Rules()
+	kids := make([]query.Cond, 0, len(rules))
+	for _, r := range rules {
+		preds := make([]query.Cond, 0, len(r.Preds))
+		for _, p := range r.Preds {
+			if p.LE {
+				preds = append(preds, query.AttrPred(p.Attr, query.LE, p.Thr))
+			} else {
+				preds = append(preds, query.AttrPred(p.Attr, query.GT, p.Thr))
+			}
+		}
+		switch len(preds) {
+		case 0:
+			return query.True{} // a bare true root: everything matches
+		case 1:
+			kids = append(kids, preds[0])
+		default:
+			kids = append(kids, query.NewAnd(preds...))
+		}
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return query.NewOr(kids...)
+}

@@ -1,0 +1,235 @@
+// Package denoise implements the optional Denoiser component of the QFix
+// architecture (paper Figure 1, §2): a pre-processing step that removes
+// suspected false-positive complaints before diagnosis. The paper treats
+// this as an orthogonal outlier-detection problem and does not prescribe
+// an algorithm; this implementation exploits the paper's own observation
+// that query-induced errors are *systemic* (§1, "Systemic errors"): true
+// complaints share a common signature — the same changed attributes with
+// consistently distributed deltas — while fabricated or mistaken
+// complaints do not.
+//
+// Two filters run in sequence:
+//
+//  1. Signature support: complaints are grouped by the set of attributes
+//     they change; groups with support below MinSupport (absolute) and
+//     MinSupportFrac (relative) are dropped.
+//  2. Domain outliers: each complaint's target values are screened
+//     against the attribute's global value distribution (robust z-score
+//     over median/MAD with a span floor); claims naming values far
+//     outside the attribute's domain are dropped.
+//
+// Existence complaints (tuple should appear/disappear) form their own
+// signature groups and are only subject to the support filter.
+package denoise
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Options tunes the filters.
+type Options struct {
+	// MinSupport is the absolute minimum group size (default 2: a
+	// signature reported only once is suspicious unless it is the only
+	// signature).
+	MinSupport int
+	// MinSupportFrac is the minimum fraction of all complaints a group
+	// must hold (default 0.05).
+	MinSupportFrac float64
+	// ZMax is the robust z-score cutoff for target-value screening
+	// (default 3.5, the conventional MAD-based outlier threshold).
+	ZMax float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport == 0 {
+		o.MinSupport = 2
+	}
+	if o.MinSupportFrac == 0 {
+		o.MinSupportFrac = 0.05
+	}
+	if o.ZMax == 0 {
+		o.ZMax = 3.5
+	}
+	return o
+}
+
+// Result separates kept and dropped complaints; Reasons explains each
+// drop (keyed by tuple ID).
+type Result struct {
+	Kept    []core.Complaint
+	Dropped []core.Complaint
+	Reasons map[int64]string
+}
+
+// Clean filters the complaint set against the dirty final state.
+func Clean(dirtyFinal *relation.Table, complaints []core.Complaint, opt Options) Result {
+	opt = opt.withDefaults()
+	res := Result{Reasons: make(map[int64]string)}
+	if len(complaints) == 0 {
+		return res
+	}
+
+	type sig struct {
+		key     string
+		attrs   []int
+		members []int // indices into complaints
+	}
+	groups := map[string]*sig{}
+	sigOf := func(c core.Complaint) (string, []int) {
+		dirty, ok := dirtyFinal.Get(c.TupleID)
+		if !c.Exists {
+			return "∄", nil
+		}
+		if !ok {
+			return "∃", nil // should exist but was deleted
+		}
+		var attrs []int
+		for a, v := range c.Values {
+			if math.Abs(dirty.Values[a]-v) > 1e-9 {
+				attrs = append(attrs, a)
+			}
+		}
+		parts := make([]string, len(attrs))
+		for i, a := range attrs {
+			parts[i] = fmt.Sprint(a)
+		}
+		return strings.Join(parts, ","), attrs
+	}
+	for i, c := range complaints {
+		key, attrs := sigOf(c)
+		g, ok := groups[key]
+		if !ok {
+			g = &sig{key: key, attrs: attrs}
+			groups[key] = g
+		}
+		g.members = append(g.members, i)
+	}
+
+	// Support filter. The largest group always survives, so a uniform
+	// complaint set is never emptied.
+	largest := 0
+	for _, g := range groups {
+		if len(g.members) > largest {
+			largest = len(g.members)
+		}
+	}
+	minSize := opt.MinSupport
+	if frac := int(math.Ceil(opt.MinSupportFrac * float64(len(complaints)))); frac > minSize {
+		minSize = frac
+	}
+	dropped := make([]bool, len(complaints))
+	for _, g := range groups {
+		if len(g.members) >= minSize || len(g.members) == largest {
+			continue
+		}
+		for _, i := range g.members {
+			dropped[i] = true
+			res.Reasons[complaints[i].TupleID] = fmt.Sprintf(
+				"signature {%s} has support %d < %d", g.key, len(g.members), minSize)
+		}
+	}
+
+	// Domain filter: a complaint's target value must be plausible for
+	// its attribute. True complaints — whether they claim a missed
+	// update (target = the systemic new value) or a spurious one
+	// (target = the tuple's old value) — always name values from the
+	// attribute's actual distribution; fabricated or fat-fingered
+	// targets tend to land far outside it. Screen each target against
+	// the attribute's global robust distribution in the dirty state.
+	width := 0
+	var attrVals [][]float64
+	dirtyFinal.Rows(func(t relation.Tuple) {
+		if width == 0 {
+			width = len(t.Values)
+			attrVals = make([][]float64, width)
+		}
+		for a, v := range t.Values {
+			attrVals[a] = append(attrVals[a], v)
+		}
+	})
+	var attrMed, attrMad []float64
+	for a := 0; a < width; a++ {
+		m := median(attrVals[a])
+		attrMed = append(attrMed, m)
+		attrMad = append(attrMad, madOf(attrVals[a], m))
+	}
+	for i, c := range complaints {
+		if dropped[i] || !c.Exists || width == 0 {
+			continue
+		}
+		dirty, ok := dirtyFinal.Get(c.TupleID)
+		if !ok {
+			continue
+		}
+		for a, v := range c.Values {
+			if math.Abs(v-dirty.Values[a]) <= 1e-9 {
+				continue // unchanged attribute: nothing claimed
+			}
+			// Floor the scale by the attribute's span so near-constant
+			// columns don't flag every legitimate change.
+			span := spanOf(attrVals[a])
+			scale := math.Max(attrMad[a], span/10)
+			if scale <= 1e-9 {
+				scale = math.Max(math.Abs(attrMed[a])/10, 1)
+			}
+			if z := 0.6745 * math.Abs(v-attrMed[a]) / scale; z > opt.ZMax {
+				dropped[i] = true
+				res.Reasons[c.TupleID] = fmt.Sprintf(
+					"attr %d target %.6g is far outside the attribute's value distribution (z=%.1f)",
+					a, v, z)
+				break
+			}
+		}
+	}
+
+	for i, c := range complaints {
+		if dropped[i] {
+			res.Dropped = append(res.Dropped, c)
+		} else {
+			res.Kept = append(res.Kept, c)
+		}
+	}
+	return res
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// madOf is the median absolute deviation around med.
+func madOf(xs []float64, med float64) float64 {
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return median(dev)
+}
+
+// spanOf is max - min.
+func spanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}

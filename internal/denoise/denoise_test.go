@@ -1,0 +1,212 @@
+package denoise
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestCleanKeepsUniformComplaints(t *testing.T) {
+	w := workload.MustGenerate(workload.Config{ND: 100, Na: 5, Nq: 10, Seed: 3, Range: 40})
+	in, err := w.MakeInstance(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Complaints) < 4 {
+		t.Skip("not enough complaints for this seed")
+	}
+	res := Clean(in.DirtyFinal, in.Complaints, Options{})
+	if len(res.Dropped) != 0 {
+		t.Errorf("dropped %d genuine complaints: %v", len(res.Dropped), res.Reasons)
+	}
+	if len(res.Kept) != len(in.Complaints) {
+		t.Errorf("kept %d of %d", len(res.Kept), len(in.Complaints))
+	}
+}
+
+func TestCleanDropsFabricatedSignature(t *testing.T) {
+	w := workload.MustGenerate(workload.Config{ND: 100, Na: 5, Nq: 10, Seed: 3, Range: 40})
+	in, err := w.MakeInstance(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Complaints) < 4 {
+		t.Skip("not enough complaints")
+	}
+	// Fabricate a complaint on an attribute no true complaint touches:
+	// pick an untouched tuple and claim its key column is wrong.
+	var victim int64 = -1
+	complained := map[int64]bool{}
+	for _, c := range in.Complaints {
+		complained[c.TupleID] = true
+	}
+	for _, id := range in.DirtyFinal.IDs() {
+		if !complained[id] {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no untouched tuple")
+	}
+	tp, _ := in.DirtyFinal.Get(victim)
+	fake := append([]float64(nil), tp.Values...)
+	fake[0] += 9999 // corrupt the key column: a signature nobody shares
+	noisy := append(append([]core.Complaint(nil), in.Complaints...),
+		core.Complaint{TupleID: victim, Exists: true, Values: fake})
+
+	res := Clean(in.DirtyFinal, noisy, Options{})
+	if len(res.Dropped) != 1 || res.Dropped[0].TupleID != victim {
+		t.Fatalf("expected to drop the fabricated complaint, dropped %+v", res.Dropped)
+	}
+	if res.Reasons[victim] == "" {
+		t.Error("no reason recorded")
+	}
+}
+
+func TestCleanDropsDeltaOutlier(t *testing.T) {
+	// All true complaints share a constant delta on one attribute; a
+	// poisoned complaint matches the signature but with a wild value.
+	w := workload.MustGenerate(workload.Config{ND: 200, Na: 4, Nq: 5,
+		Set: workload.RelativeSet, Seed: 9, Range: 60})
+	in, err := w.MakeInstance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Complaints) < 5 {
+		t.Skip("not enough complaints")
+	}
+	// Poison one true complaint's value.
+	noisy := append([]core.Complaint(nil), in.Complaints...)
+	poisonIdx := len(noisy) / 2
+	poisoned := noisy[poisonIdx]
+	vals := append([]float64(nil), poisoned.Values...)
+	// Find the complaint attribute and blow up its delta.
+	dirty, _ := in.DirtyFinal.Get(poisoned.TupleID)
+	for a := range vals {
+		if vals[a] != dirty.Values[a] {
+			vals[a] += 123456
+			break
+		}
+	}
+	noisy[poisonIdx] = core.Complaint{TupleID: poisoned.TupleID, Exists: true, Values: vals}
+
+	res := Clean(in.DirtyFinal, noisy, Options{})
+	found := false
+	for _, d := range res.Dropped {
+		if d.TupleID == poisoned.TupleID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("poisoned complaint survived; dropped=%d reasons=%v",
+			len(res.Dropped), res.Reasons)
+	}
+	if len(res.Kept) < len(in.Complaints)-2 {
+		t.Errorf("too many true complaints dropped: kept %d of %d",
+			len(res.Kept), len(in.Complaints))
+	}
+}
+
+func TestCleanEmptyAndSingleton(t *testing.T) {
+	w := workload.MustGenerate(workload.Config{ND: 10, Na: 3, Nq: 2, Seed: 5})
+	in, err := w.MakeInstance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Clean(in.DirtyFinal, nil, Options{})
+	if len(res.Kept) != 0 || len(res.Dropped) != 0 {
+		t.Error("empty set mishandled")
+	}
+	// A single complaint is the largest group: it must survive.
+	tp := in.DirtyFinal.At(0)
+	vals := append([]float64(nil), tp.Values...)
+	vals[1] += 5
+	one := []core.Complaint{{TupleID: tp.ID, Exists: true, Values: vals}}
+	res = Clean(in.DirtyFinal, one, Options{})
+	if len(res.Kept) != 1 {
+		t.Errorf("singleton complaint dropped: %v", res.Reasons)
+	}
+}
+
+func TestCleanExistenceComplaints(t *testing.T) {
+	w := workload.MustGenerate(workload.Config{ND: 50, Na: 3, Nq: 10,
+		Mix: workload.DeleteOnly, Seed: 11, Range: 20})
+	in, err := w.MakeInstance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasExistence := false
+	for _, c := range in.Complaints {
+		if !c.Exists {
+			hasExistence = true
+		}
+	}
+	if !hasExistence && len(in.Complaints) == 0 {
+		t.Skip("no existence complaints for this seed")
+	}
+	res := Clean(in.DirtyFinal, in.Complaints, Options{})
+	if len(res.Kept)+len(res.Dropped) != len(in.Complaints) {
+		t.Error("complaints lost")
+	}
+}
+
+// End to end: a noisy complaint set makes diagnosis fail or mislead;
+// denoising restores a clean repair.
+func TestDenoiseThenDiagnose(t *testing.T) {
+	w := workload.MustGenerate(workload.Config{ND: 100, Na: 5, Nq: 10, Seed: 21, Range: 40})
+	in, err := w.MakeInstance(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Complaints) < 4 {
+		t.Skip("not enough complaints")
+	}
+	rng := rand.New(rand.NewSource(1))
+	noisy := append([]core.Complaint(nil), in.Complaints...)
+	// Two fabricated complaints on untouched tuples and attributes.
+	complained := map[int64]bool{}
+	for _, c := range noisy {
+		complained[c.TupleID] = true
+	}
+	added := 0
+	for _, id := range in.DirtyFinal.IDs() {
+		if complained[id] || added >= 2 {
+			continue
+		}
+		tp, _ := in.DirtyFinal.Get(id)
+		vals := append([]float64(nil), tp.Values...)
+		vals[0] += float64(1000 + rng.Intn(1000))
+		noisy = append(noisy, core.Complaint{TupleID: id, Exists: true, Values: vals})
+		added++
+	}
+
+	// The two fakes share a signature of size 2: raise the support bar
+	// above it.
+	cleaned := Clean(in.DirtyFinal, noisy, Options{MinSupport: 3})
+	if len(cleaned.Dropped) != added {
+		t.Fatalf("dropped %d, want %d (%v)", len(cleaned.Dropped), added, cleaned.Reasons)
+	}
+	rep, err := core.Diagnose(w.D0, in.Dirty, cleaned.Kept, core.Options{
+		Algorithm:    core.Incremental,
+		TupleSlicing: true,
+		QuerySlicing: true,
+		TimeLimit:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Fatalf("denoised diagnosis failed: %+v", rep.Stats)
+	}
+	acc, err := in.Evaluate(rep.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.F1 < 0.99 {
+		t.Errorf("F1 = %v after denoising", acc.F1)
+	}
+}

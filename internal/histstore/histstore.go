@@ -1,0 +1,262 @@
+// Package histstore persists the inputs QFix needs — a checkpointed
+// database state D0 and the append-only query log that ran after it — in
+// a plain-text directory layout, and restores them for diagnosis.
+//
+// The paper assumes "the system only maintains D0 and Dn ... D0 can be a
+// checkpoint" (§3.1). This package is that checkpoint mechanism: a
+// deployment snapshots its table, appends every update statement as it
+// executes, and hands the directory to QFix when complaints arrive.
+//
+// Layout:
+//
+//	dir/meta.txt      table name, key attribute, attribute names
+//	dir/snapshot.csv  D0 rows (tuple IDs implicit: 1..n in order)
+//	dir/log.sql       one statement per line, append-only
+//
+// Everything is line-oriented text so the store remains greppable and
+// diffable; durability relies on O_APPEND + Sync, which is adequate for
+// a reproduction (a production system would layer a WAL with checksums).
+package histstore
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// Store is an open history directory.
+type Store struct {
+	dir    string
+	schema *relation.Schema
+	d0     *relation.Table
+	log    []query.Query
+	logF   *os.File
+}
+
+// Create initializes a new history directory with the given checkpoint
+// state. The directory must not already contain a store.
+func Create(dir string, d0 *relation.Table) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, "meta.txt")); err == nil {
+		return nil, fmt.Errorf("histstore: %s already contains a store", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sch := d0.Schema()
+
+	var meta strings.Builder
+	fmt.Fprintf(&meta, "table %s\n", sch.Name())
+	if sch.Key() >= 0 {
+		fmt.Fprintf(&meta, "key %s\n", sch.Attr(sch.Key()))
+	}
+	fmt.Fprintf(&meta, "attrs %s\n", strings.Join(sch.Attrs(), ","))
+	if err := os.WriteFile(filepath.Join(dir, "meta.txt"), []byte(meta.String()), 0o644); err != nil {
+		return nil, err
+	}
+
+	snap, err := os.Create(filepath.Join(dir, "snapshot.csv"))
+	if err != nil {
+		return nil, err
+	}
+	w := csv.NewWriter(snap)
+	var werr error
+	d0.Rows(func(t relation.Tuple) {
+		rec := make([]string, len(t.Values))
+		for i, v := range t.Values {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := w.Write(rec); err != nil && werr == nil {
+			werr = err
+		}
+	})
+	w.Flush()
+	if werr == nil {
+		werr = w.Error()
+	}
+	if cerr := snap.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return nil, werr
+	}
+
+	logF, err := os.OpenFile(filepath.Join(dir, "log.sql"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, schema: sch, d0: d0.Clone(), logF: logF}, nil
+}
+
+// Open loads an existing history directory.
+func Open(dir string) (*Store, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	var table, key string
+	var attrs []string
+	for _, line := range strings.Split(string(metaBytes), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "table "):
+			table = strings.TrimPrefix(line, "table ")
+		case strings.HasPrefix(line, "key "):
+			key = strings.TrimPrefix(line, "key ")
+		case strings.HasPrefix(line, "attrs "):
+			attrs = strings.Split(strings.TrimPrefix(line, "attrs "), ",")
+		}
+	}
+	sch, err := relation.NewSchema(table, attrs, key)
+	if err != nil {
+		return nil, fmt.Errorf("histstore: bad meta: %w", err)
+	}
+
+	snapF, err := os.Open(filepath.Join(dir, "snapshot.csv"))
+	if err != nil {
+		return nil, err
+	}
+	defer snapF.Close()
+	records, err := csv.NewReader(snapF).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("histstore: snapshot: %w", err)
+	}
+	d0 := relation.NewTable(sch)
+	for li, rec := range records {
+		vals := make([]float64, len(rec))
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("histstore: snapshot line %d: %w", li+1, err)
+			}
+			vals[i] = v
+		}
+		if _, err := d0.Insert(vals); err != nil {
+			return nil, fmt.Errorf("histstore: snapshot line %d: %w", li+1, err)
+		}
+	}
+
+	var log []query.Query
+	logPath := filepath.Join(dir, "log.sql")
+	if f, err := os.Open(logPath); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		ln := 0
+		for sc.Scan() {
+			ln++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "--") {
+				continue
+			}
+			q, err := sqlparse.Parse(sch, line)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("histstore: log line %d: %w", ln, err)
+			}
+			log = append(log, q)
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+
+	logF, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, schema: sch, d0: d0, log: log, logF: logF}, nil
+}
+
+// Close releases the log file handle.
+func (s *Store) Close() error {
+	if s.logF == nil {
+		return nil
+	}
+	err := s.logF.Close()
+	s.logF = nil
+	return err
+}
+
+// Schema returns the table schema.
+func (s *Store) Schema() *relation.Schema { return s.schema }
+
+// D0 returns a copy of the checkpoint state.
+func (s *Store) D0() *relation.Table { return s.d0.Clone() }
+
+// Log returns a copy of the persisted query log.
+func (s *Store) Log() []query.Query { return query.CloneLog(s.log) }
+
+// Append durably adds a statement to the log.
+func (s *Store) Append(q query.Query) error {
+	if s.logF == nil {
+		return fmt.Errorf("histstore: store is closed")
+	}
+	line := q.String(s.schema)
+	// Round-trip check: the persisted text must parse back to the same
+	// statement; refuse to persist anything that would not replay.
+	if _, err := sqlparse.Parse(s.schema, line); err != nil {
+		return fmt.Errorf("histstore: statement does not round-trip: %w", err)
+	}
+	if _, err := fmt.Fprintln(s.logF, line+";"); err != nil {
+		return err
+	}
+	if err := s.logF.Sync(); err != nil {
+		return err
+	}
+	s.log = append(s.log, q.Clone())
+	return nil
+}
+
+// AppendSQL parses and durably adds a statement written in SQL.
+func (s *Store) AppendSQL(sql string) (query.Query, error) {
+	q, err := sqlparse.Parse(s.schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Append(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Current replays the whole log over the checkpoint and returns the
+// current state Dn.
+func (s *Store) Current() (*relation.Table, error) {
+	return query.Replay(s.log, s.d0)
+}
+
+// Checkpoint rewrites the snapshot to the current state and truncates
+// the log: the paper's "D0 can be a checkpoint: a state of the database
+// that we assume is correct; we cannot diagnose errors before this
+// state." Call it after repairs have been validated.
+func (s *Store) Checkpoint() error {
+	cur, err := s.Current()
+	if err != nil {
+		return err
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(s.dir, "meta.txt")); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(s.dir, "log.sql")); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	ns, err := Create(s.dir, cur)
+	if err != nil {
+		return err
+	}
+	*s = *ns
+	return nil
+}

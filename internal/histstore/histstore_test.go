@@ -1,0 +1,214 @@
+package histstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func newStore(t *testing.T) (*Store, *relation.Schema) {
+	t.Helper()
+	sch := relation.MustSchema("Taxes", []string{"income", "owed", "pay"}, "")
+	d0 := relation.NewTable(sch)
+	d0.MustInsert(9500, 950, 8550)
+	d0.MustInsert(90000, 22500, 67500)
+	d0.MustInsert(86000, 21500, 64500)
+	d0.MustInsert(86500, 21625, 64875)
+	s, err := Create(t.TempDir(), d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, sch
+}
+
+func TestCreateAppendReopen(t *testing.T) {
+	s, sch := newStore(t)
+	dir := s.dir
+	if _, err := s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendSQL("INSERT INTO Taxes VALUES (85800, 21450, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendSQL("not sql at all"); err == nil {
+		t.Error("malformed SQL accepted")
+	}
+	s.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Schema().String() != sch.String() {
+		t.Errorf("schema mismatch: %v vs %v", re.Schema(), sch)
+	}
+	if re.D0().Len() != 4 {
+		t.Errorf("D0 len = %d", re.D0().Len())
+	}
+	log := re.Log()
+	if len(log) != 2 {
+		t.Fatalf("log len = %d", len(log))
+	}
+	cur, err := re.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Len() != 5 {
+		t.Errorf("current len = %d", cur.Len())
+	}
+	t2, _ := cur.Get(2)
+	if t2.Values[1] != 27000 {
+		t.Errorf("t2 owed = %v, want 27000", t2.Values[1])
+	}
+}
+
+func TestAppendSurvivesReopenMidStream(t *testing.T) {
+	s, _ := newStore(t)
+	dir := s.dir
+	if _, err := s.AppendSQL("UPDATE Taxes SET pay = income - owed"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Reopen, append more, reopen again.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.AppendSQL("DELETE FROM Taxes WHERE income < 5000"); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if len(s3.Log()) != 2 {
+		t.Errorf("log len after two sessions = %d", len(s3.Log()))
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	s, _ := newStore(t)
+	if _, err := Create(s.dir, s.D0()); err == nil {
+		t.Error("Create over existing store accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open on empty dir accepted")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "meta.txt"), []byte("table t\nattrs a,b\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "snapshot.csv"), []byte("1,notanum\n"), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("bad snapshot accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "snapshot.csv"), []byte("1,2\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "log.sql"), []byte("NOT SQL;\n"), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("bad log accepted")
+	}
+}
+
+func TestCommentsAndBlanksInLog(t *testing.T) {
+	s, _ := newStore(t)
+	dir := s.dir
+	s.AppendSQL("UPDATE Taxes SET pay = 1 WHERE income < 0")
+	s.Close()
+	// Hand-edit the log with comments and blank lines.
+	f, err := os.OpenFile(filepath.Join(dir, "log.sql"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("\n-- operator note\n\nUPDATE Taxes SET pay = 2 WHERE income < 0;\n")
+	f.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(re.Log()) != 2 {
+		t.Errorf("log len = %d, want 2", len(re.Log()))
+	}
+}
+
+func TestCheckpoint(t *testing.T) {
+	s, _ := newStore(t)
+	dir := s.dir
+	s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700")
+	cur, _ := s.Current()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Log()) != 0 {
+		t.Errorf("log not truncated after checkpoint: %d", len(s.Log()))
+	}
+	if d := relation.DiffTables(s.D0(), cur, 1e-9); len(d) != 0 {
+		t.Errorf("checkpoint state differs from pre-checkpoint current: %d diffs", len(d))
+	}
+	// And it persists.
+	s.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(re.Log()) != 0 || re.D0().Len() != 4 {
+		t.Errorf("reopened checkpoint wrong: log=%d d0=%d", len(re.Log()), re.D0().Len())
+	}
+}
+
+func TestClosedStoreRejectsAppend(t *testing.T) {
+	s, _ := newStore(t)
+	s.Close()
+	if _, err := s.AppendSQL("DELETE FROM Taxes"); err == nil {
+		t.Error("append after close accepted")
+	}
+}
+
+// The capstone: capture a history, corrupt it on disk, reload, diagnose.
+func TestStoreToDiagnosisPipeline(t *testing.T) {
+	s, _ := newStore(t)
+	dir := s.dir
+	// The "true" history is what should have run; persist the corrupted
+	// variant, as a deployment would have.
+	s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700") // corrupted
+	s.AppendSQL("INSERT INTO Taxes VALUES (85800, 21450, 0)")
+	s.AppendSQL("UPDATE Taxes SET pay = income - owed")
+	s.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	complaints := []core.Complaint{
+		{TupleID: 3, Exists: true, Values: []float64{86000, 21500, 64500}},
+		{TupleID: 4, Exists: true, Values: []float64{86500, 21625, 64875}},
+	}
+	rep, err := core.Diagnose(re.D0(), re.Log(), complaints, core.Options{
+		Algorithm:    core.Incremental,
+		TupleSlicing: true,
+		QuerySlicing: true,
+		TimeLimit:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved || len(rep.Changed) != 1 || rep.Changed[0] != 0 {
+		t.Fatalf("pipeline diagnosis failed: resolved=%v changed=%v", rep.Resolved, rep.Changed)
+	}
+	repairedSQL := rep.Log[0].String(re.Schema())
+	if !strings.Contains(repairedSQL, ">=") {
+		t.Errorf("unexpected repaired SQL: %s", repairedSQL)
+	}
+}

@@ -1,0 +1,181 @@
+package milp
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/simplex"
+)
+
+// bnb carries branch-and-bound search state.
+type bnb struct {
+	m        *Model
+	opt      Options
+	lp       *simplex.Solver // warm-started across nodes
+	deadline time.Time
+	hasDL    bool
+
+	incumbent []float64
+	incObj    float64
+	hasInc    bool
+
+	nodes   int
+	lpIters int
+	stopped bool // a limit fired
+}
+
+// Solve runs branch-and-bound to optimality or a limit.
+func (m *Model) Solve(opt Options) Result {
+	opt = opt.withDefaults()
+	s := &bnb{m: m, opt: opt, incObj: math.Inf(1)}
+	s.lp = simplex.NewSolver(m.prob, opt.LP)
+	if opt.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opt.TimeLimit)
+		s.hasDL = true
+	}
+
+	st := s.search()
+
+	res := Result{Nodes: s.nodes, LPIters: s.lpIters}
+	if s.hasInc {
+		res.HasSolution = true
+		res.X = s.incumbent
+		res.Obj = s.incObj + m.objConst
+	}
+	switch {
+	case st == nodeUnbounded:
+		res.Status = Unbounded
+	case s.stopped:
+		res.Status = Limit
+	case s.hasInc:
+		res.Status = Optimal
+	default:
+		res.Status = Infeasible
+	}
+	return res
+}
+
+type nodeOutcome int
+
+const (
+	nodeDone nodeOutcome = iota
+	nodeUnbounded
+	nodeStopped
+)
+
+// search explores the root node; bound changes are applied and undone on
+// the shared problem (DFS).
+func (s *bnb) search() nodeOutcome {
+	return s.node(0)
+}
+
+// node solves the LP relaxation under the current bounds and branches.
+// depth is used only as a recursion guard.
+func (s *bnb) node(depth int) nodeOutcome {
+	if s.limitHit() {
+		return nodeStopped
+	}
+	s.nodes++
+
+	var sol simplex.Solution
+	if s.opt.ColdLP {
+		sol = s.m.prob.Solve(s.opt.LP)
+	} else {
+		sol = s.lp.Solve()
+	}
+	s.lpIters += sol.Iters
+	switch sol.Status {
+	case simplex.Infeasible:
+		return nodeDone
+	case simplex.Unbounded:
+		// Tightening integer bounds only shrinks the feasible region, so
+		// an unbounded relaxation means the MILP itself is unbounded
+		// (or empty; either way the search cannot conclude optimality).
+		return nodeUnbounded
+	case simplex.IterLimit, simplex.NumFail:
+		// Treat as unexplorable; conservatively drop this subtree but
+		// record that the search was not exhaustive.
+		s.stopped = true
+		return nodeDone
+	}
+
+	// Bound pruning.
+	if s.hasInc && sol.Obj >= s.incObj-s.opt.Gap {
+		return nodeDone
+	}
+
+	// Branch on the lowest-index fractional integer variable. Encoder
+	// models create binaries in log order, so this fixes the σ literals
+	// of early queries first; their downstream effects then collapse,
+	// which empirically beats most-fractional branching on these models.
+	branch := -1
+	for j, isInt := range s.m.isInt {
+		if !isInt {
+			continue
+		}
+		v := sol.X[j]
+		if math.Abs(v-math.Round(v)) > s.opt.IntTol {
+			branch = j
+			break
+		}
+	}
+
+	if branch < 0 {
+		// Integer feasible: new incumbent.
+		x := append([]float64(nil), sol.X...)
+		for j, isInt := range s.m.isInt {
+			if isInt {
+				x[j] = math.Round(x[j])
+			}
+		}
+		s.incumbent = x
+		s.incObj = sol.Obj
+		s.hasInc = true
+		return nodeDone
+	}
+
+	if depth > 10000 {
+		s.stopped = true // runaway branching guard
+		return nodeDone
+	}
+
+	lb, ub := s.m.prob.Bounds(branch)
+	v := sol.X[branch]
+	// Clamp split points into the variable's range: LP noise must never
+	// produce reversed bounds.
+	floorV := math.Min(math.Max(math.Floor(v), lb), ub)
+	ceilV := math.Min(math.Max(math.Ceil(v), lb), ub)
+	down := func() nodeOutcome { // x <= floor(v)
+		s.m.prob.SetBounds(branch, lb, floorV)
+		out := s.node(depth + 1)
+		s.m.prob.SetBounds(branch, lb, ub)
+		return out
+	}
+	up := func() nodeOutcome { // x >= ceil(v)
+		s.m.prob.SetBounds(branch, ceilV, ub)
+		out := s.node(depth + 1)
+		s.m.prob.SetBounds(branch, lb, ub)
+		return out
+	}
+	// Explore the nearer side first (better incumbents earlier).
+	first, second := down, up
+	if v-math.Floor(v) > 0.5 {
+		first, second = up, down
+	}
+	if out := first(); out != nodeDone {
+		return out
+	}
+	return second()
+}
+
+func (s *bnb) limitHit() bool {
+	if s.nodes >= s.opt.MaxNodes {
+		s.stopped = true
+		return true
+	}
+	if s.hasDL && time.Now().After(s.deadline) {
+		s.stopped = true
+		return true
+	}
+	return false
+}

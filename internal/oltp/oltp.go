@@ -1,0 +1,196 @@
+// Package oltp generates the benchmark workloads of the QFix evaluation
+// (§7.4): the update statements of TPC-C against the ORDER table and of
+// TATP against the SUBSCRIBER table, in the proportions the paper uses
+// (TPC-C: ~92% INSERT from NewOrder plus point UPDATEs from Delivery;
+// TATP: 100% point UPDATEs from UpdateSubscriberData/UpdateLocation).
+//
+// The paper drives these through OLTP-bench against Postgres; here the
+// statements are generated directly with the same clause structure, key
+// distribution, and mix, which is all QFix observes.
+package oltp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// TPCCConfig sizes the TPC-C ORDER workload. The paper's §7.4 setting is
+// Orders=6000, Queries=2000 (1837 INSERTs), Districts=10, one warehouse.
+type TPCCConfig struct {
+	Orders     int     // initial ORDER rows (default 6000)
+	Queries    int     // log length (default 2000)
+	InsertFrac float64 // fraction of INSERTs (default 0.92)
+	Districts  int     // districts per warehouse (default 10)
+	Seed       int64
+}
+
+func (c TPCCConfig) withDefaults() TPCCConfig {
+	if c.Orders == 0 {
+		c.Orders = 6000
+	}
+	if c.Queries == 0 {
+		c.Queries = 2000
+	}
+	if c.InsertFrac == 0 {
+		c.InsertFrac = 0.92
+	}
+	if c.Districts == 0 {
+		c.Districts = 10
+	}
+	return c
+}
+
+// TPCC builds the ORDER-table workload: NewOrder INSERTs and Delivery
+// point UPDATEs (SET o_carrier_id = ? WHERE o_id = ? AND o_d_id = ?).
+func TPCC(cfg TPCCConfig) *workload.Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sch := relation.MustSchema("orders",
+		[]string{"o_id", "o_d_id", "o_w_id", "o_c_id", "o_carrier_id", "o_ol_cnt", "o_all_local"},
+		"o_id")
+
+	d0 := relation.NewTable(sch)
+	perDistrict := cfg.Orders / cfg.Districts
+	nextOID := make([]int, cfg.Districts+1)
+	for d := 1; d <= cfg.Districts; d++ {
+		for o := 1; o <= perDistrict; o++ {
+			d0.MustInsert(float64(o), float64(d), 1,
+				float64(rng.Intn(3000)+1), // customer
+				float64(rng.Intn(10)+1),   // carrier (delivered)
+				float64(rng.Intn(11)+5),   // order lines 5..15
+				1)                         // all local
+		}
+		nextOID[d] = perDistrict + 1
+	}
+
+	var log []query.Query
+	for i := 0; i < cfg.Queries; i++ {
+		d := rng.Intn(cfg.Districts) + 1
+		if rng.Float64() < cfg.InsertFrac {
+			// NewOrder: fresh order, not yet delivered (carrier 0).
+			log = append(log, query.NewInsert(
+				float64(nextOID[d]), float64(d), 1,
+				float64(rng.Intn(3000)+1),
+				0,
+				float64(rng.Intn(11)+5),
+				1))
+			nextOID[d]++
+		} else {
+			// Delivery: assign a carrier to one order of the district.
+			oid := rng.Intn(nextOID[d]-1) + 1
+			log = append(log, query.NewUpdate(
+				[]query.SetClause{{Attr: 4, Expr: query.ConstExpr(float64(rng.Intn(10) + 1))}},
+				query.NewAnd(
+					query.AttrPred(0, query.EQ, float64(oid)),
+					query.AttrPred(1, query.EQ, float64(d)))))
+		}
+	}
+
+	maxOID := 0
+	for _, n := range nextOID {
+		if n > maxOID {
+			maxOID = n
+		}
+	}
+	corrupt := corruptTPCC(cfg, maxOID)
+	return workload.NewCustom(workload.Config{Seed: cfg.Seed, Vd: 3000}, sch, d0, log, corrupt)
+}
+
+// corruptTPCC replaces a query's parameters with fresh domain-valid
+// values of the same shape (§7.1's corruption procedure applied to the
+// benchmark's statement templates).
+func corruptTPCC(cfg TPCCConfig, maxOID int) func(rng *rand.Rand, q query.Query, p []float64) {
+	return func(rng *rand.Rand, q query.Query, p []float64) {
+		switch q.(type) {
+		case *query.Update: // p = [carrier, o_id, d_id]
+			p[0] = float64(rng.Intn(10) + 1)
+			p[1] = float64(rng.Intn(maxOID) + 1)
+			p[2] = float64(rng.Intn(cfg.Districts) + 1)
+		case *query.Insert: // keep identity (o_id, d_id, w); corrupt payload
+			p[3] = float64(rng.Intn(3000) + 1)
+			p[4] = float64(rng.Intn(10) + 1)
+			p[5] = float64(rng.Intn(11) + 5)
+		}
+	}
+}
+
+// TATPConfig sizes the TATP SUBSCRIBER workload. The paper's setting is
+// Subscribers=5000, Queries=2000 (all UPDATEs).
+type TATPConfig struct {
+	Subscribers int
+	Queries     int
+	Seed        int64
+}
+
+func (c TATPConfig) withDefaults() TATPConfig {
+	if c.Subscribers == 0 {
+		c.Subscribers = 5000
+	}
+	if c.Queries == 0 {
+		c.Queries = 2000
+	}
+	return c
+}
+
+// TATP builds the SUBSCRIBER workload: UpdateSubscriberData
+// (SET bit_1 = ? WHERE s_id = ?) and UpdateLocation
+// (SET vlr_location = ? WHERE s_id = ?), both point updates on the key.
+func TATP(cfg TATPConfig) *workload.Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sch := relation.MustSchema("subscriber",
+		[]string{"s_id", "bit_1", "hex_1", "byte2_1", "msc_location", "vlr_location"},
+		"s_id")
+
+	d0 := relation.NewTable(sch)
+	for s := 1; s <= cfg.Subscribers; s++ {
+		d0.MustInsert(float64(s),
+			float64(rng.Intn(2)),
+			float64(rng.Intn(16)),
+			float64(rng.Intn(256)),
+			math.Floor(rng.Float64()*(1<<20)),
+			math.Floor(rng.Float64()*(1<<20)))
+	}
+
+	var log []query.Query
+	for i := 0; i < cfg.Queries; i++ {
+		sid := float64(rng.Intn(cfg.Subscribers) + 1)
+		if rng.Float64() < 0.5 {
+			// UpdateSubscriberData
+			log = append(log, query.NewUpdate(
+				[]query.SetClause{
+					{Attr: 1, Expr: query.ConstExpr(float64(rng.Intn(2)))},
+					{Attr: 3, Expr: query.ConstExpr(float64(rng.Intn(256)))},
+				},
+				query.AttrPred(0, query.EQ, sid)))
+		} else {
+			// UpdateLocation
+			log = append(log, query.NewUpdate(
+				[]query.SetClause{{Attr: 5, Expr: query.ConstExpr(math.Floor(rng.Float64() * (1 << 20)))}},
+				query.AttrPred(0, query.EQ, sid)))
+		}
+	}
+
+	corrupt := func(rng *rand.Rand, q query.Query, p []float64) {
+		u, ok := q.(*query.Update)
+		if !ok {
+			return
+		}
+		for si := range u.Set {
+			switch u.Set[si].Attr {
+			case 1:
+				p[si] = float64(rng.Intn(2))
+			case 3:
+				p[si] = float64(rng.Intn(256))
+			default:
+				p[si] = math.Floor(rng.Float64() * (1 << 20))
+			}
+		}
+		p[len(u.Set)] = float64(rng.Intn(cfg.Subscribers) + 1) // retarget s_id
+	}
+	return workload.NewCustom(workload.Config{Seed: cfg.Seed, Vd: 1 << 20}, sch, d0, log, corrupt)
+}

@@ -1,0 +1,162 @@
+package oltp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+func TestTPCCShape(t *testing.T) {
+	w := TPCC(TPCCConfig{Orders: 600, Queries: 200, Seed: 1})
+	if w.D0.Len() != 600 {
+		t.Errorf("orders = %d", w.D0.Len())
+	}
+	if len(w.Log) != 200 {
+		t.Fatalf("log = %d", len(w.Log))
+	}
+	ins, upd := 0, 0
+	for _, q := range w.Log {
+		switch q.Kind() {
+		case query.KindInsert:
+			ins++
+		case query.KindUpdate:
+			upd++
+		default:
+			t.Fatalf("unexpected kind %v", q.Kind())
+		}
+	}
+	if ins < 160 || upd == 0 {
+		t.Errorf("mix ins=%d upd=%d, want ~92%% inserts", ins, upd)
+	}
+	// The log must replay cleanly.
+	if _, err := query.Replay(w.Log, w.D0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPCCDeliveryTargetsExistingOrder(t *testing.T) {
+	w := TPCC(TPCCConfig{Orders: 200, Queries: 300, Seed: 2})
+	final, err := query.Replay(w.Log, w.D0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliveries are point updates; at least some must have matched a row
+	// (carrier set on a previously carrier-0 insert is hard to observe
+	// directly, so check that updates have valid key predicates instead).
+	for _, q := range w.Log {
+		u, ok := q.(*query.Update)
+		if !ok {
+			continue
+		}
+		and := u.Where.(*query.And)
+		if len(and.Kids) != 2 {
+			t.Fatalf("delivery predicate arity %d", len(and.Kids))
+		}
+	}
+	_ = final
+}
+
+func TestTATPShape(t *testing.T) {
+	w := TATP(TATPConfig{Subscribers: 500, Queries: 300, Seed: 3})
+	if w.D0.Len() != 500 || len(w.Log) != 300 {
+		t.Fatalf("size %d log %d", w.D0.Len(), len(w.Log))
+	}
+	for i, q := range w.Log {
+		u, ok := q.(*query.Update)
+		if !ok {
+			t.Fatalf("q%d is %T", i, q)
+		}
+		pr, ok := u.Where.(*query.Pred)
+		if !ok || pr.Op != query.EQ || pr.LHS.Terms[0].Attr != 0 {
+			t.Fatalf("q%d is not a point update on s_id: %s", i, q.String(w.Schema))
+		}
+	}
+}
+
+func TestTPCCRepairEndToEnd(t *testing.T) {
+	// §7.4: corrupt one query and repair with inc1 + tuple slicing; the
+	// complaint sets are tiny (1–2 tuples) and repairs near-interactive.
+	w := TPCC(TPCCConfig{Orders: 300, Queries: 120, Seed: 4})
+	for _, idx := range []int{119, 80} {
+		in, err := w.MakeInstance(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in.Complaints) == 0 {
+			continue // corruption had no data effect (e.g. same carrier)
+		}
+		if len(in.Complaints) > 4 {
+			t.Errorf("idx %d: complaint set unexpectedly large: %d", idx, len(in.Complaints))
+		}
+		rep, err := core.Diagnose(w.D0, in.Dirty, in.Complaints, core.Options{
+			Algorithm:        core.Incremental,
+			TupleSlicing:     true,
+			QuerySlicing:     true,
+			SingleCorruption: true,
+			TimeLimit:        60 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Resolved {
+			t.Errorf("idx %d: not resolved (%+v)", idx, rep.Stats)
+			continue
+		}
+		acc, err := in.Evaluate(rep.Log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc.F1 < 0.99 {
+			t.Errorf("idx %d: F1 = %v (%+v)", idx, acc.F1, acc)
+		}
+	}
+}
+
+func TestTATPRepairEndToEnd(t *testing.T) {
+	w := TATP(TATPConfig{Subscribers: 400, Queries: 150, Seed: 5})
+	in, err := w.MakeInstance(149)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Complaints) == 0 {
+		t.Skip("harmless corruption")
+	}
+	rep, err := core.Diagnose(w.D0, in.Dirty, in.Complaints, core.Options{
+		Algorithm:        core.Incremental,
+		TupleSlicing:     true,
+		QuerySlicing:     true,
+		SingleCorruption: true,
+		TimeLimit:        60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Fatalf("not resolved: %+v", rep.Stats)
+	}
+	acc, err := in.Evaluate(rep.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.F1 < 0.99 {
+		t.Errorf("F1 = %v (%+v)", acc.F1, acc)
+	}
+}
+
+func TestCorruptionDeterminism(t *testing.T) {
+	a := TPCC(TPCCConfig{Orders: 100, Queries: 50, Seed: 9})
+	b := TPCC(TPCCConfig{Orders: 100, Queries: 50, Seed: 9})
+	ia, err := a.MakeInstance(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := b.MakeInstance(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.Distance(ia.Dirty, ib.Dirty) != 0 {
+		t.Error("same seed produced different corruption")
+	}
+}

@@ -1,0 +1,109 @@
+package query
+
+import "sort"
+
+// AttrSet is a small set of attribute indices.
+type AttrSet map[int]bool
+
+// NewAttrSet builds a set from a list of indices.
+func NewAttrSet(attrs ...int) AttrSet {
+	s := make(AttrSet, len(attrs))
+	for _, a := range attrs {
+		s[a] = true
+	}
+	return s
+}
+
+// Add inserts all given attributes.
+func (s AttrSet) Add(attrs ...int) {
+	for _, a := range attrs {
+		s[a] = true
+	}
+}
+
+// Union merges o into s.
+func (s AttrSet) Union(o AttrSet) {
+	for a := range o {
+		s[a] = true
+	}
+}
+
+// Intersects reports whether the sets share an element.
+func (s AttrSet) Intersects(o AttrSet) bool {
+	small, big := s, o
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for a := range small {
+		if big[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAll reports whether s is a superset of o.
+func (s AttrSet) ContainsAll(o AttrSet) bool {
+	for a := range o {
+		if !s[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the elements in increasing order.
+func (s AttrSet) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a copy of the set.
+func (s AttrSet) Clone() AttrSet {
+	c := make(AttrSet, len(s))
+	for a := range s {
+		c[a] = true
+	}
+	return c
+}
+
+// DirectImpact returns I(q), the attributes a query writes (Definition 7).
+// INSERT and DELETE touch every attribute of the affected tuples: an
+// insert determines all values of the new tuple, a delete removes them.
+func DirectImpact(q Query, width int) AttrSet {
+	s := make(AttrSet)
+	switch v := q.(type) {
+	case *Update:
+		for _, sc := range v.Set {
+			s[sc.Attr] = true
+		}
+	case *Insert, *Delete:
+		for a := 0; a < width; a++ {
+			s[a] = true
+		}
+	}
+	return s
+}
+
+// Dependency returns P(q), the attributes a query's condition reads
+// (Definition 7). SET-clause expression inputs are also included: an
+// error in a query can propagate through "SET a = b + 5" reads as well,
+// and treating them as dependencies keeps the causal read-write chain of
+// §5.2 sound for relative SET clauses.
+func Dependency(q Query) AttrSet {
+	s := make(AttrSet)
+	switch v := q.(type) {
+	case *Update:
+		s.Add(CondAttrs(v.Where, nil)...)
+		for _, sc := range v.Set {
+			s.Add(sc.Expr.Attrs(nil)...)
+		}
+	case *Delete:
+		s.Add(CondAttrs(v.Where, nil)...)
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+// Package query models the update workload QFix diagnoses: UPDATE, INSERT
+// and DELETE statements whose WHERE clauses are conjunctions/disjunctions
+// of predicates over linear combinations of attributes, and whose SET
+// clauses assign linear expressions (paper §3, "Problem scope").
+//
+// Queries are pure functions over relation.Table states (Di = qi(Di-1)).
+// Every constant appearing in a query is an addressable *parameter*: the
+// repair surface of QFix is exactly the parameter vector of the log
+// (§3.1, "our repairs focus on altering query constants rather than query
+// structure").
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Term is one attribute reference with a coefficient inside a LinExpr.
+type Term struct {
+	Attr int
+	Coef float64
+}
+
+// LinExpr is a linear combination of attributes plus a constant:
+// sum(Coef_i * A_i) + Const. The constant is a repairable parameter;
+// coefficients are considered query structure and are not repaired,
+// matching the paper's treatment (the Figure 2 repair changes the WHERE
+// constant, not the 0.3 rate, though SET constants are repairable too).
+type LinExpr struct {
+	Terms []Term // sorted by Attr, no duplicates, no zero coefficients
+	Const float64
+}
+
+// ConstExpr returns a LinExpr holding only a constant.
+func ConstExpr(c float64) LinExpr { return LinExpr{Const: c} }
+
+// AttrExpr returns a LinExpr referencing a single attribute.
+func AttrExpr(attr int) LinExpr { return LinExpr{Terms: []Term{{Attr: attr, Coef: 1}}} }
+
+// NewLinExpr builds a normalized LinExpr from possibly unsorted,
+// possibly duplicated terms.
+func NewLinExpr(c float64, terms ...Term) LinExpr {
+	m := make(map[int]float64, len(terms))
+	for _, t := range terms {
+		m[t.Attr] += t.Coef
+	}
+	e := LinExpr{Const: c}
+	for a, cf := range m {
+		if cf != 0 {
+			e.Terms = append(e.Terms, Term{Attr: a, Coef: cf})
+		}
+	}
+	sort.Slice(e.Terms, func(i, j int) bool { return e.Terms[i].Attr < e.Terms[j].Attr })
+	return e
+}
+
+// Eval evaluates the expression on a tuple's values.
+func (e LinExpr) Eval(values []float64) float64 {
+	v := e.Const
+	for _, t := range e.Terms {
+		v += t.Coef * values[t.Attr]
+	}
+	return v
+}
+
+// IsConst reports whether the expression references no attributes.
+func (e LinExpr) IsConst() bool { return len(e.Terms) == 0 }
+
+// Clone returns a deep copy.
+func (e LinExpr) Clone() LinExpr {
+	return LinExpr{Terms: append([]Term(nil), e.Terms...), Const: e.Const}
+}
+
+// Attrs appends the attribute indices referenced by e to dst.
+func (e LinExpr) Attrs(dst []int) []int {
+	for _, t := range e.Terms {
+		dst = append(dst, t.Attr)
+	}
+	return dst
+}
+
+// Add returns e + o.
+func (e LinExpr) Add(o LinExpr) LinExpr {
+	terms := append(append([]Term(nil), e.Terms...), o.Terms...)
+	return NewLinExpr(e.Const+o.Const, terms...)
+}
+
+// Scale returns k*e.
+func (e LinExpr) Scale(k float64) LinExpr {
+	out := LinExpr{Const: k * e.Const}
+	if k == 0 {
+		return out
+	}
+	for _, t := range e.Terms {
+		out.Terms = append(out.Terms, Term{Attr: t.Attr, Coef: k * t.Coef})
+	}
+	return out
+}
+
+// Equal reports structural equality within eps on all coefficients.
+func (e LinExpr) Equal(o LinExpr, eps float64) bool {
+	if len(e.Terms) != len(o.Terms) || math.Abs(e.Const-o.Const) > eps {
+		return false
+	}
+	for i, t := range e.Terms {
+		if t.Attr != o.Terms[i].Attr || math.Abs(t.Coef-o.Terms[i].Coef) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression using the schema's attribute names.
+func (e LinExpr) String(s *relation.Schema) string {
+	var b strings.Builder
+	first := true
+	for _, t := range e.Terms {
+		name := fmt.Sprintf("a%d", t.Attr)
+		if s != nil {
+			name = s.Attr(t.Attr)
+		}
+		switch {
+		case first && t.Coef == 1:
+			b.WriteString(name)
+		case first && t.Coef == -1:
+			b.WriteString("-" + name)
+		case first:
+			fmt.Fprintf(&b, "%s * %s", fmtNum(t.Coef), name)
+		case t.Coef == 1:
+			b.WriteString(" + " + name)
+		case t.Coef == -1:
+			b.WriteString(" - " + name)
+		case t.Coef < 0:
+			fmt.Fprintf(&b, " - %s * %s", fmtNum(-t.Coef), name)
+		default:
+			fmt.Fprintf(&b, " + %s * %s", fmtNum(t.Coef), name)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		b.WriteString(fmtNum(e.Const))
+	case e.Const > 0:
+		b.WriteString(" + " + fmtNum(e.Const))
+	case e.Const < 0:
+		b.WriteString(" - " + fmtNum(-e.Const))
+	}
+	return b.String()
+}
+
+// fmtNum renders a float without a trailing ".0" for integral values.
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

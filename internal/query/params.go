@@ -1,0 +1,107 @@
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Parameter canonical order:
+//
+//   - UPDATE: the Const of each SET clause expression in clause order,
+//     then the RHS of each WHERE predicate in WalkPreds order.
+//   - INSERT: the inserted values in attribute order.
+//   - DELETE: the RHS of each WHERE predicate in WalkPreds order.
+//
+// This order is shared by Params/SetParams, the MILP encoder's parameter
+// variables, and the log-repair distance function, so a parameter index
+// is a stable address into a query.
+
+// Params implements Query for Update.
+func (u *Update) Params() []float64 {
+	var p []float64
+	for _, sc := range u.Set {
+		p = append(p, sc.Expr.Const)
+	}
+	WalkPreds(u.Where, func(pr *Pred) { p = append(p, pr.RHS) })
+	return p
+}
+
+// SetParams implements Query for Update.
+func (u *Update) SetParams(p []float64) error {
+	want := len(u.Params())
+	if len(p) != want {
+		return fmt.Errorf("query: UPDATE has %d params, got %d", want, len(p))
+	}
+	i := 0
+	for j := range u.Set {
+		u.Set[j].Expr.Const = p[i]
+		i++
+	}
+	WalkPreds(u.Where, func(pr *Pred) { pr.RHS = p[i]; i++ })
+	return nil
+}
+
+// Params implements Query for Insert.
+func (q *Insert) Params() []float64 { return append([]float64(nil), q.Values...) }
+
+// SetParams implements Query for Insert.
+func (q *Insert) SetParams(p []float64) error {
+	if len(p) != len(q.Values) {
+		return fmt.Errorf("query: INSERT has %d params, got %d", len(q.Values), len(p))
+	}
+	copy(q.Values, p)
+	return nil
+}
+
+// Params implements Query for Delete.
+func (q *Delete) Params() []float64 {
+	var p []float64
+	WalkPreds(q.Where, func(pr *Pred) { p = append(p, pr.RHS) })
+	return p
+}
+
+// SetParams implements Query for Delete.
+func (q *Delete) SetParams(p []float64) error {
+	want := len(q.Params())
+	if len(p) != want {
+		return fmt.Errorf("query: DELETE has %d params, got %d", want, len(p))
+	}
+	i := 0
+	WalkPreds(q.Where, func(pr *Pred) { pr.RHS = p[i]; i++ })
+	return nil
+}
+
+// LogParams concatenates the parameter vectors of all queries in a log.
+func LogParams(log []Query) []float64 {
+	var p []float64
+	for _, q := range log {
+		p = append(p, q.Params()...)
+	}
+	return p
+}
+
+// Distance is the Manhattan distance between the parameter vectors of two
+// structurally identical logs (§4.3). It panics if the logs have
+// different parameter arities, which indicates structural mismatch.
+func Distance(a, b []Query) float64 {
+	pa, pb := LogParams(a), LogParams(b)
+	if len(pa) != len(pb) {
+		panic(fmt.Sprintf("query: Distance on structurally different logs (%d vs %d params)",
+			len(pa), len(pb)))
+	}
+	d := 0.0
+	for i := range pa {
+		d += math.Abs(pa[i] - pb[i])
+	}
+	return d
+}
+
+// SameStructure reports whether two queries share kind and parameter
+// arity — the precondition for treating one as a parameter repair of the
+// other.
+func SameStructure(a, b Query) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	return len(a.Params()) == len(b.Params())
+}

@@ -1,0 +1,246 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Kind identifies the statement type of a query.
+type Kind int
+
+// Statement kinds in the supported update workload.
+const (
+	KindUpdate Kind = iota
+	KindInsert
+	KindDelete
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUpdate:
+		return "UPDATE"
+	case KindInsert:
+		return "INSERT"
+	case KindDelete:
+		return "DELETE"
+	}
+	return "UNKNOWN"
+}
+
+// Query is one statement in the log: a function from database state to
+// database state (§3.1). Apply mutates the given table in place; callers
+// that need the previous state clone first (see Replay).
+type Query interface {
+	Kind() Kind
+	Apply(tb *relation.Table) error
+	Clone() Query
+	// Params returns the query's constant vector in canonical order
+	// (see package comment); SetParams writes it back.
+	Params() []float64
+	SetParams(p []float64) error
+	String(s *relation.Schema) string
+}
+
+// SetClause assigns a linear expression to one attribute, e.g.
+// "SET owed = 0.3*income" or "SET a1 = a1 + 5". The modifier function
+// µ_q(t) of the paper is the simultaneous application of all SET clauses
+// over the tuple's pre-update values.
+type SetClause struct {
+	Attr int
+	Expr LinExpr
+}
+
+// Update is an UPDATE statement.
+type Update struct {
+	Set   []SetClause
+	Where Cond
+}
+
+// NewUpdate builds an UPDATE with the given SET clauses and condition.
+// A nil cond means no WHERE clause (all tuples match).
+func NewUpdate(set []SetClause, cond Cond) *Update {
+	if cond == nil {
+		cond = True{}
+	}
+	return &Update{Set: set, Where: cond}
+}
+
+// Kind implements Query.
+func (u *Update) Kind() Kind { return KindUpdate }
+
+// Apply implements Query: tuples satisfying Where get all SET clauses
+// applied simultaneously over their old values.
+func (u *Update) Apply(tb *relation.Table) error {
+	width := tb.Schema().Width()
+	for _, sc := range u.Set {
+		if sc.Attr < 0 || sc.Attr >= width {
+			return fmt.Errorf("query: SET attribute %d out of range [0,%d)", sc.Attr, width)
+		}
+	}
+	newVals := make([]float64, len(u.Set))
+	tb.Update(func(t *relation.Tuple) {
+		if !u.Where.Eval(t.Values) {
+			return
+		}
+		for i, sc := range u.Set {
+			newVals[i] = sc.Expr.Eval(t.Values)
+		}
+		for i, sc := range u.Set {
+			t.Values[sc.Attr] = newVals[i]
+		}
+	})
+	return nil
+}
+
+// Clone implements Query.
+func (u *Update) Clone() Query {
+	set := make([]SetClause, len(u.Set))
+	for i, sc := range u.Set {
+		set[i] = SetClause{Attr: sc.Attr, Expr: sc.Expr.Clone()}
+	}
+	return &Update{Set: set, Where: u.Where.Clone()}
+}
+
+// String implements Query.
+func (u *Update) String(s *relation.Schema) string {
+	name := "t"
+	if s != nil {
+		name = s.Name()
+	}
+	parts := make([]string, len(u.Set))
+	for i, sc := range u.Set {
+		an := fmt.Sprintf("a%d", sc.Attr)
+		if s != nil {
+			an = s.Attr(sc.Attr)
+		}
+		parts[i] = an + " = " + sc.Expr.String(s)
+	}
+	out := "UPDATE " + name + " SET " + strings.Join(parts, ", ")
+	if _, isTrue := u.Where.(True); !isTrue {
+		out += " WHERE " + u.Where.String(s)
+	}
+	return out
+}
+
+// Insert is an INSERT statement adding one tuple with constant values.
+type Insert struct {
+	Values []float64
+}
+
+// NewInsert builds an INSERT of the given row.
+func NewInsert(values ...float64) *Insert {
+	return &Insert{Values: append([]float64(nil), values...)}
+}
+
+// Kind implements Query.
+func (q *Insert) Kind() Kind { return KindInsert }
+
+// Apply implements Query.
+func (q *Insert) Apply(tb *relation.Table) error {
+	_, err := tb.Insert(q.Values)
+	return err
+}
+
+// Clone implements Query.
+func (q *Insert) Clone() Query {
+	return &Insert{Values: append([]float64(nil), q.Values...)}
+}
+
+// String implements Query.
+func (q *Insert) String(s *relation.Schema) string {
+	name := "t"
+	if s != nil {
+		name = s.Name()
+	}
+	parts := make([]string, len(q.Values))
+	for i, v := range q.Values {
+		parts[i] = fmtNum(v)
+	}
+	return "INSERT INTO " + name + " VALUES (" + strings.Join(parts, ", ") + ")"
+}
+
+// Delete is a DELETE statement removing all tuples matching Where.
+type Delete struct {
+	Where Cond
+}
+
+// NewDelete builds a DELETE with the given condition (nil means all rows).
+func NewDelete(cond Cond) *Delete {
+	if cond == nil {
+		cond = True{}
+	}
+	return &Delete{Where: cond}
+}
+
+// Kind implements Query.
+func (q *Delete) Kind() Kind { return KindDelete }
+
+// Apply implements Query.
+func (q *Delete) Apply(tb *relation.Table) error {
+	var doomed []int64
+	tb.Rows(func(t relation.Tuple) {
+		if q.Where.Eval(t.Values) {
+			doomed = append(doomed, t.ID)
+		}
+	})
+	for _, id := range doomed {
+		tb.Delete(id)
+	}
+	return nil
+}
+
+// Clone implements Query.
+func (q *Delete) Clone() Query { return &Delete{Where: q.Where.Clone()} }
+
+// String implements Query.
+func (q *Delete) String(s *relation.Schema) string {
+	name := "t"
+	if s != nil {
+		name = s.Name()
+	}
+	out := "DELETE FROM " + name
+	if _, isTrue := q.Where.(True); !isTrue {
+		out += " WHERE " + q.Where.String(s)
+	}
+	return out
+}
+
+// Replay clones d0 and applies every query in the log, returning the
+// final state Dn = Q(D0).
+func Replay(log []Query, d0 *relation.Table) (*relation.Table, error) {
+	cur := d0.Clone()
+	for i, q := range log {
+		if err := q.Apply(cur); err != nil {
+			return nil, fmt.Errorf("query %d (%s): %w", i, q.Kind(), err)
+		}
+	}
+	return cur, nil
+}
+
+// ReplayAll returns every intermediate state [D0, D1, ..., Dn]. Used by
+// tests and the DecTree baseline; QFix itself needs only D0 and Dn.
+func ReplayAll(log []Query, d0 *relation.Table) ([]*relation.Table, error) {
+	states := make([]*relation.Table, 0, len(log)+1)
+	cur := d0.Clone()
+	states = append(states, cur)
+	for i, q := range log {
+		cur = cur.Clone()
+		if err := q.Apply(cur); err != nil {
+			return nil, fmt.Errorf("query %d (%s): %w", i, q.Kind(), err)
+		}
+		states = append(states, cur)
+	}
+	return states, nil
+}
+
+// CloneLog deep-copies a query log.
+func CloneLog(log []Query) []Query {
+	out := make([]Query, len(log))
+	for i, q := range log {
+		out[i] = q.Clone()
+	}
+	return out
+}

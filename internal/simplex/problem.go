@@ -1,0 +1,189 @@
+// Package simplex implements a bounded-variable, two-phase primal simplex
+// solver for linear programs:
+//
+//	minimize    c·x
+//	subject to  a_i·x  {<=, =, >=}  b_i        for each row i
+//	            l_j <= x_j <= u_j               for each variable j
+//
+// It is the LP engine beneath the branch-and-bound MILP solver in
+// internal/milp, which together substitute for the CPLEX dependency of
+// the QFix paper. Bounds are handled natively (no bound rows), which is
+// what makes branch-and-bound cheap: a branch only tightens one bound.
+//
+// The implementation is a textbook revised simplex with a dense basis
+// inverse, sparse constraint columns, Dantzig pricing with a Bland
+// fallback for anti-cycling, a composite (infeasibility-sum) phase 1,
+// and periodic refactorization for numerical hygiene. It targets the
+// modest problem sizes the QFix encoder produces (hundreds to a few
+// thousand rows); it is not a general-purpose industrial LP code.
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the bound value representing +infinity; use -Inf for free lower
+// bounds.
+var Inf = math.Inf(1)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective decreases without bound.
+	Unbounded
+	// IterLimit: the iteration budget was exhausted before optimality.
+	IterLimit
+	// NumFail: the basis became numerically unusable.
+	NumFail
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	case NumFail:
+		return "numerical-failure"
+	}
+	return "unknown"
+}
+
+// ConstrOp is a row's relational operator.
+type ConstrOp int
+
+// Row operators.
+const (
+	LE ConstrOp = iota
+	GE
+	EQ
+)
+
+// Coef is one term of a constraint row.
+type Coef struct {
+	Var  int
+	Coef float64
+}
+
+type entry struct {
+	row  int
+	coef float64
+}
+
+// Problem accumulates a linear program. The zero value is unusable; use
+// NewProblem.
+type Problem struct {
+	obj  []float64
+	lb   []float64
+	ub   []float64
+	cols [][]entry
+
+	rhs []float64
+	ops []ConstrOp
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumVars returns the number of structural variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumRows returns the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rhs) }
+
+// AddVar adds a variable with bounds [lb, ub] and objective coefficient
+// obj, returning its index. Bounds may be ±Inf.
+func (p *Problem) AddVar(lb, ub, obj float64) int {
+	if lb > ub {
+		panic(fmt.Sprintf("simplex: variable bounds reversed [%g, %g]", lb, ub))
+	}
+	p.obj = append(p.obj, obj)
+	p.lb = append(p.lb, lb)
+	p.ub = append(p.ub, ub)
+	p.cols = append(p.cols, nil)
+	return len(p.obj) - 1
+}
+
+// SetObj overwrites the objective coefficient of variable v.
+func (p *Problem) SetObj(v int, c float64) { p.obj[v] = c }
+
+// SetBounds overwrites the bounds of variable v. Used by branch-and-bound.
+func (p *Problem) SetBounds(v int, lb, ub float64) {
+	if lb > ub {
+		panic(fmt.Sprintf("simplex: variable bounds reversed [%g, %g]", lb, ub))
+	}
+	p.lb[v] = lb
+	p.ub[v] = ub
+}
+
+// Bounds returns the bounds of variable v.
+func (p *Problem) Bounds(v int) (lb, ub float64) { return p.lb[v], p.ub[v] }
+
+// AddConstr adds the row terms op rhs and returns its index. Terms with
+// duplicate variables are summed; zero coefficients are dropped.
+func (p *Problem) AddConstr(terms []Coef, op ConstrOp, rhs float64) int {
+	row := len(p.rhs)
+	sum := make(map[int]float64, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.obj) {
+			panic(fmt.Sprintf("simplex: constraint references unknown variable %d", t.Var))
+		}
+		sum[t.Var] += t.Coef
+	}
+	for v, c := range sum {
+		if c != 0 {
+			p.cols[v] = append(p.cols[v], entry{row: row, coef: c})
+		}
+	}
+	p.rhs = append(p.rhs, rhs)
+	p.ops = append(p.ops, op)
+	return row
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIters bounds total simplex iterations (phases 1+2).
+	// Zero means a size-derived default.
+	MaxIters int
+	// FeasTol is the bound/row feasibility tolerance (default 1e-7).
+	FeasTol float64
+	// OptTol is the reduced-cost optimality tolerance (default 1e-9).
+	OptTol float64
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200 * (m + n + 10)
+	}
+	if o.FeasTol <= 0 {
+		o.FeasTol = 1e-7
+	}
+	if o.OptTol <= 0 {
+		o.OptTol = 1e-9
+	}
+	return o
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	// X holds the values of the structural variables (valid for Optimal;
+	// for IterLimit it holds the last iterate, which may be infeasible).
+	X []float64
+	// Obj is the objective value c·X.
+	Obj float64
+	// Iters is the number of simplex iterations performed.
+	Iters int
+}

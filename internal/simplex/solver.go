@@ -1,0 +1,667 @@
+package simplex
+
+import "math"
+
+// Solver carries simplex state that survives across re-optimizations.
+// Branch-and-bound creates one Solver per model and calls Solve after
+// each bound change: the basis, its inverse, and the nonbasic positions
+// are retained, so a child node typically re-optimizes in a handful of
+// pivots instead of hundreds from a cold slack basis.
+//
+// A Solver assumes the problem's rows and variables are fixed after
+// creation; only bounds and objective coefficients may change between
+// calls.
+type Solver struct {
+	p           *Problem
+	opt         Options
+	inner       *solver
+	initialized bool
+}
+
+// NewSolver prepares a reusable solver for the problem.
+func NewSolver(p *Problem, opt Options) *Solver {
+	return &Solver{p: p, opt: opt}
+}
+
+// Solve optimizes under the problem's current bounds, warm-starting from
+// the previous basis when one exists.
+func (ws *Solver) Solve() Solution {
+	m, n := len(ws.p.rhs), len(ws.p.obj)
+	opt := ws.opt.withDefaults(m, n)
+	warm := ws.initialized
+	if !warm {
+		ws.inner = &solver{p: ws.p, opt: opt, m: m, n: n, N: n + m}
+		ws.inner.init()
+		ws.initialized = true
+	} else {
+		ws.inner.opt = opt
+		ws.inner.warmReset()
+	}
+	s := ws.inner
+	s.iters = 0
+	st := s.phase1()
+	if st == Optimal {
+		st = s.phase2()
+	}
+	if warm && st == Infeasible && !s.rowsValid() {
+		// An infeasibility verdict is only trustworthy if the iterate
+		// actually satisfies the equality system; a corrupted basis
+		// inverse fails this and must not prune feasible subtrees.
+		st = NumFail
+	}
+	if warm && (st == IterLimit || st == NumFail || (st == Optimal && !s.solutionValid())) {
+		// The retained basis went stale or numerically sour: retry cold.
+		// (Product-form updates can silently corrupt the basis inverse;
+		// an "optimal" answer violating bounds or rows is the telltale.)
+		s.init()
+		s.iters = 0
+		if st = s.phase1(); st == Optimal {
+			st = s.phase2()
+		}
+	}
+	if st == Optimal && !s.solutionValid() {
+		st = NumFail // even the cold basis is numerically untrustworthy
+	}
+	return s.result(st)
+}
+
+// solutionValid checks the current iterate for primal feasibility:
+// every variable within its bounds and every row satisfied, with a
+// tolerance scaled to the iterate's magnitude. Guards against basis-
+// inverse corruption slipping bogus "optimal" answers to callers.
+func (s *solver) solutionValid() bool {
+	for j := 0; j < s.N; j++ {
+		v := s.xval[j]
+		tol := 1e-5 + 1e-6*math.Abs(v)
+		if v < s.lb[j]-tol || v > s.ub[j]+tol {
+			return false
+		}
+	}
+	return s.rowsValid()
+}
+
+// rowsValid checks that the current iterate satisfies the equality
+// system Ax + s = b (the invariant any basis-derived iterate must hold,
+// feasible or not). Tolerances scale with the row's term magnitudes:
+// catastrophic cancellation on large big-M rows leaves residuals
+// proportional to the summed magnitudes, not to the rhs.
+func (s *solver) rowsValid() bool {
+	lhs := make([]float64, s.m)
+	mag := make([]float64, s.m)
+	for j := 0; j < s.N; j++ {
+		v := s.xval[j]
+		if v == 0 {
+			continue
+		}
+		s.colOf(j, func(row int, coef float64) {
+			lhs[row] += coef * v
+			mag[row] += math.Abs(coef * v)
+		})
+	}
+	for i := 0; i < s.m; i++ {
+		tol := 1e-6 + 1e-7*math.Max(mag[i], math.Abs(s.p.rhs[i]))
+		if math.Abs(lhs[i]-s.p.rhs[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// warmReset adapts retained state to the problem's current bounds:
+// bounds are re-read, nonbasic variables are clamped into their (possibly
+// tightened) ranges, and basic values are recomputed.
+func (s *solver) warmReset() {
+	copy(s.lb[:s.n], s.p.lb)
+	copy(s.ub[:s.n], s.p.ub)
+	copy(s.obj[:s.n], s.p.obj)
+	for j := 0; j < s.N; j++ {
+		if s.basicPos[j] >= 0 {
+			continue
+		}
+		if s.xval[j] < s.lb[j] {
+			s.xval[j] = s.lb[j]
+		}
+		if s.xval[j] > s.ub[j] {
+			s.xval[j] = s.ub[j]
+		}
+	}
+	s.degen = 0
+	s.bland = false
+	s.computeBasics()
+}
+
+// solver carries the working state of one Solve call. Variables are
+// indexed 0..n-1 (structural) and n..n+m-1 (one slack per row, coefficient
+// +1, with bounds encoding the row operator).
+type solver struct {
+	p   *Problem
+	opt Options
+	m   int // rows
+	n   int // structural variables
+	N   int // n + m
+
+	lb, ub []float64 // length N
+	obj    []float64 // length N (slacks cost 0)
+
+	basis    []int     // length m: variable occupying each basis position
+	basicPos []int     // length N: position in basis, or -1
+	xval     []float64 // length N: current value of every variable
+	binv     [][]float64
+
+	w      []float64 // scratch: Binv * A_enter
+	y      []float64 // scratch: duals
+	dB     []float64 // scratch: phase-1 costs of basic vars
+	iters  int
+	pivots int // lifetime basis changes (drives refactorization)
+
+	degen int  // consecutive (near-)degenerate pivots
+	bland bool // anti-cycling mode
+}
+
+// refactorize rebuilds Binv from the basis columns by Gauss-Jordan
+// elimination with partial pivoting, flushing the drift accumulated by
+// product-form updates. Reports false when the basis matrix is
+// numerically singular.
+func (s *solver) refactorize() bool {
+	m := s.m
+	b := make([][]float64, m)
+	for i := range b {
+		b[i] = make([]float64, m)
+	}
+	for k := 0; k < m; k++ {
+		kk := k
+		s.colOf(s.basis[k], func(row int, coef float64) { b[row][kk] = coef })
+	}
+	inv := s.binv
+	for i := range inv {
+		for j := range inv[i] {
+			inv[i][j] = 0
+		}
+		inv[i][i] = 1
+	}
+	for col := 0; col < m; col++ {
+		piv, pivVal := -1, 1e-10
+		for r := col; r < m; r++ {
+			if v := math.Abs(b[r][col]); v > pivVal {
+				piv, pivVal = r, v
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		b[col], b[piv] = b[piv], b[col]
+		inv[col], inv[piv] = inv[piv], inv[col]
+		d := b[col][col]
+		for j := 0; j < m; j++ {
+			b[col][j] /= d
+			inv[col][j] /= d
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := b[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				b[r][j] -= f * b[col][j]
+				inv[r][j] -= f * inv[col][j]
+			}
+		}
+	}
+	// Row order of inv now corresponds to basis positions only up to the
+	// pivoting swaps applied to both matrices in lockstep, which keeps
+	// inv = B^{-1} exactly; recompute basics under the fresh inverse.
+	s.computeBasics()
+	return true
+}
+
+// Solve runs two-phase primal simplex on the problem from a cold basis.
+// For repeated solves under changing bounds (branch-and-bound), use
+// NewSolver to retain the basis between calls.
+func (p *Problem) Solve(opt Options) Solution {
+	return NewSolver(p, opt).Solve()
+}
+
+func (s *solver) init() {
+	N := s.N
+	s.lb = make([]float64, N)
+	s.ub = make([]float64, N)
+	s.obj = make([]float64, N)
+	copy(s.lb, s.p.lb)
+	copy(s.ub, s.p.ub)
+	copy(s.obj, s.p.obj)
+	for i := 0; i < s.m; i++ {
+		j := s.n + i
+		switch s.p.ops[i] {
+		case LE:
+			s.lb[j], s.ub[j] = 0, Inf
+		case GE:
+			s.lb[j], s.ub[j] = math.Inf(-1), 0
+		case EQ:
+			s.lb[j], s.ub[j] = 0, 0
+		}
+	}
+
+	s.basis = make([]int, s.m)
+	s.basicPos = make([]int, N)
+	s.xval = make([]float64, N)
+	for j := range s.basicPos {
+		s.basicPos[j] = -1
+	}
+	// Nonbasic structural variables start at their finite bound nearest
+	// zero (or zero if free).
+	for j := 0; j < s.n; j++ {
+		s.xval[j] = nearestFiniteBound(s.lb[j], s.ub[j])
+	}
+	// Slack basis.
+	s.binv = make([][]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		s.basis[i] = s.n + i
+		s.basicPos[s.n+i] = i
+		s.binv[i] = make([]float64, s.m)
+		s.binv[i][i] = 1
+	}
+	s.w = make([]float64, s.m)
+	s.y = make([]float64, s.m)
+	s.dB = make([]float64, s.m)
+	s.computeBasics()
+}
+
+func nearestFiniteBound(l, u float64) float64 {
+	lf, uf := !math.IsInf(l, -1), !math.IsInf(u, 1)
+	switch {
+	case lf && uf:
+		if math.Abs(l) <= math.Abs(u) {
+			return l
+		}
+		return u
+	case lf:
+		return l
+	case uf:
+		return u
+	default:
+		return 0
+	}
+}
+
+// colOf iterates the sparse column of variable j.
+func (s *solver) colOf(j int, f func(row int, coef float64)) {
+	if j < s.n {
+		for _, e := range s.p.cols[j] {
+			f(e.row, e.coef)
+		}
+		return
+	}
+	f(j-s.n, 1)
+}
+
+// computeBasics recomputes the values of all basic variables from
+// scratch: xB = Binv (b - A_N x_N).
+func (s *solver) computeBasics() {
+	r := make([]float64, s.m)
+	copy(r, s.p.rhs)
+	for j := 0; j < s.N; j++ {
+		if s.basicPos[j] >= 0 || s.xval[j] == 0 {
+			continue
+		}
+		v := s.xval[j]
+		s.colOf(j, func(row int, coef float64) { r[row] -= coef * v })
+	}
+	for i := 0; i < s.m; i++ {
+		s.xval[s.basis[i]] = dot(s.binv[i], r)
+	}
+}
+
+func dot(a, b []float64) float64 {
+	v := 0.0
+	for i, x := range a {
+		v += x * b[i]
+	}
+	return v
+}
+
+// infeasibility returns the total bound violation of basic variables and
+// fills s.dB with the phase-1 cost of each basis position (-1 below
+// lower, +1 above upper, 0 feasible).
+func (s *solver) infeasibility() float64 {
+	tol := s.opt.FeasTol
+	total := 0.0
+	for i := 0; i < s.m; i++ {
+		v := s.xval[s.basis[i]]
+		l, u := s.lb[s.basis[i]], s.ub[s.basis[i]]
+		switch {
+		case v < l-tol:
+			s.dB[i] = -1
+			total += l - v
+		case v > u+tol:
+			s.dB[i] = 1
+			total += v - u
+		default:
+			s.dB[i] = 0
+		}
+	}
+	return total
+}
+
+// computeDuals fills s.y = cB^T Binv for the given basic cost vector.
+func (s *solver) computeDuals(cB []float64) {
+	for k := 0; k < s.m; k++ {
+		s.y[k] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		ci := cB[i]
+		if ci == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			s.y[k] += ci * row[k]
+		}
+	}
+}
+
+// reducedCost returns c_j - y·A_j.
+func (s *solver) reducedCost(j int, structuralCost bool) float64 {
+	rc := 0.0
+	if structuralCost {
+		rc = s.obj[j]
+	}
+	s.colOf(j, func(row int, coef float64) { rc -= s.y[row] * coef })
+	return rc
+}
+
+// phase1 drives the basis to feasibility, minimizing total bound
+// violation with the composite (piecewise-linear) phase-1 objective.
+func (s *solver) phase1() Status {
+	tol := s.opt.FeasTol
+	refactors := 0
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return IterLimit
+		}
+		if s.infeasibility() <= tol {
+			return Optimal
+		}
+		s.computeDuals(s.dB)
+		j, dir := s.chooseEntering(false)
+		if j < 0 {
+			// Before declaring infeasibility, make sure the duals that
+			// justified it came from an exact inverse: product-form drift
+			// yields wrong duals with a perfectly consistent iterate.
+			if !s.dualsConsistent(true) && refactors < 2 {
+				refactors++
+				if !s.refactorize() {
+					return NumFail
+				}
+				continue
+			}
+			return Infeasible
+		}
+		st := s.pivot(j, dir, true)
+		if st != Optimal {
+			return st
+		}
+	}
+}
+
+// phase2 optimizes the true objective from a feasible basis.
+func (s *solver) phase2() Status {
+	cB := make([]float64, s.m)
+	refactors := 0
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return IterLimit
+		}
+		for i := 0; i < s.m; i++ {
+			cB[i] = s.obj[s.basis[i]]
+		}
+		s.computeDuals(cB)
+		j, dir := s.chooseEntering(true)
+		if j < 0 {
+			if !s.dualsConsistent(false) && refactors < 2 {
+				refactors++
+				if !s.refactorize() {
+					return NumFail
+				}
+				continue
+			}
+			return Optimal
+		}
+		st := s.pivot(j, dir, false)
+		if st != Optimal {
+			return st
+		}
+	}
+}
+
+// dualsConsistent verifies B^T y = c_B on the current duals: every basic
+// variable's reduced cost must be (near) zero. A corrupted basis inverse
+// produces wrong duals while the primal iterate can remain perfectly
+// row-consistent, so this is the check that protects verdicts.
+// phase1 selects the composite phase-1 cost vector.
+func (s *solver) dualsConsistent(phase1 bool) bool {
+	for i := 0; i < s.m; i++ {
+		bi := s.basis[i]
+		var cost float64
+		if phase1 {
+			cost = s.dB[i]
+		} else {
+			cost = s.obj[bi]
+		}
+		rc := cost
+		scale := math.Max(1, math.Abs(cost))
+		s.colOf(bi, func(row int, coef float64) {
+			rc -= s.y[row] * coef
+			if a := math.Abs(s.y[row] * coef); a > scale {
+				scale = a
+			}
+		})
+		if math.Abs(rc) > 1e-6*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// chooseEntering prices all nonbasic variables and returns the entering
+// variable and its movement direction (+1 increase, -1 decrease), or
+// (-1, 0) if no improving variable exists. structuralCost selects
+// phase-2 pricing (phase 1 uses zero costs for nonbasic variables).
+func (s *solver) chooseEntering(structuralCost bool) (int, int) {
+	tol := s.opt.OptTol
+	ftol := s.opt.FeasTol
+	best, bestScore, bestDir := -1, tol, 0
+	for j := 0; j < s.N; j++ {
+		if s.basicPos[j] >= 0 {
+			continue
+		}
+		canUp := s.xval[j] < s.ub[j]-ftol
+		canDown := s.xval[j] > s.lb[j]+ftol
+		if !canUp && !canDown {
+			continue // fixed variable
+		}
+		rc := s.reducedCost(j, structuralCost)
+		var score float64
+		var dir int
+		switch {
+		case canUp && rc < -tol && (!canDown || rc <= 0):
+			score, dir = -rc, 1
+		case canDown && rc > tol:
+			score, dir = rc, -1
+		default:
+			continue
+		}
+		if s.bland {
+			return j, dir // first eligible index (Bland's rule)
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = j, score, dir
+		}
+	}
+	return best, bestDir
+}
+
+// pivot performs the ratio test for entering variable j moving in
+// direction dir, then applies either a bound flip or a basis change.
+// phase1 selects the phase-1 ratio test that lets infeasible basic
+// variables travel to (and stop at) their violated bound.
+func (s *solver) pivot(j, dir int, phase1 bool) Status {
+	s.iters++
+	ftol := s.opt.FeasTol
+	ptol := 1e-9
+
+	// w = Binv * A_j
+	for i := range s.w {
+		s.w[i] = 0
+	}
+	s.colOf(j, func(row int, coef float64) {
+		for i := 0; i < s.m; i++ {
+			s.w[i] += s.binv[i][row] * coef
+		}
+	})
+
+	// Entering variable's own travel limit (bound flip). Measured from
+	// its current value: warm starts can leave a nonbasic variable at an
+	// interior point after bound changes, so the full range would
+	// overshoot.
+	tBest := math.Inf(1)
+	leave := -1 // basis position of leaving var; -1 = bound flip
+	var leaveBound float64
+	if dir > 0 {
+		if !math.IsInf(s.ub[j], 1) {
+			tBest = s.ub[j] - s.xval[j]
+		}
+	} else if !math.IsInf(s.lb[j], -1) {
+		tBest = s.xval[j] - s.lb[j]
+	}
+
+	for i := 0; i < s.m; i++ {
+		delta := -float64(dir) * s.w[i]
+		if math.Abs(delta) <= ptol {
+			continue
+		}
+		bv := s.basis[i]
+		v, l, u := s.xval[bv], s.lb[bv], s.ub[bv]
+		var t, bound float64
+		switch {
+		case phase1 && v < l-ftol:
+			if delta <= 0 {
+				continue // moving further below: no breakpoint
+			}
+			t, bound = (l-v)/delta, l
+		case phase1 && v > u+ftol:
+			if delta >= 0 {
+				continue
+			}
+			t, bound = (u-v)/delta, u
+		case delta > 0:
+			if math.IsInf(u, 1) {
+				continue
+			}
+			t, bound = (u-v)/delta, u
+		default: // delta < 0
+			if math.IsInf(l, -1) {
+				continue
+			}
+			t, bound = (l-v)/delta, l
+		}
+		if t < 0 {
+			t = 0 // degenerate: slight bound violation within tolerance
+		}
+		// Prefer strictly smaller t; on near-ties keep the larger |pivot|
+		// for numerical stability.
+		if t < tBest-1e-12 || (t <= tBest+1e-12 && leave >= 0 && math.Abs(s.w[i]) > math.Abs(s.w[leave])) {
+			tBest, leave, leaveBound = t, i, bound
+		}
+	}
+
+	if math.IsInf(tBest, 1) {
+		if phase1 {
+			return NumFail // cannot happen with exact arithmetic
+		}
+		return Unbounded
+	}
+
+	// Anti-cycling bookkeeping.
+	if tBest <= 1e-10 {
+		s.degen++
+		if s.degen > 200 {
+			s.bland = true
+		}
+	} else {
+		s.degen = 0
+		s.bland = false
+	}
+
+	// Apply the step.
+	step := float64(dir) * tBest
+	s.xval[j] += step
+	for i := 0; i < s.m; i++ {
+		if s.w[i] != 0 {
+			s.xval[s.basis[i]] -= step * s.w[i]
+		}
+	}
+
+	if leave < 0 {
+		// Bound flip: snap to the exact opposite bound.
+		if dir > 0 {
+			s.xval[j] = s.ub[j]
+		} else {
+			s.xval[j] = s.lb[j]
+		}
+		return Optimal
+	}
+
+	lv := s.basis[leave]
+	s.xval[lv] = leaveBound // snap leaving variable exactly to its bound
+	piv := s.w[leave]
+	if math.Abs(piv) < 1e-11 {
+		return NumFail
+	}
+	// Product-form basis inverse update.
+	prow := s.binv[leave]
+	inv := 1 / piv
+	for k := 0; k < s.m; k++ {
+		prow[k] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			row[k] -= f * prow[k]
+		}
+	}
+	s.basicPos[lv] = -1
+	s.basis[leave] = j
+	s.basicPos[j] = leave
+	s.pivots++
+
+	// Periodically flush incremental drift: cheap value recompute often,
+	// full basis refactorization rarely.
+	if s.pivots%256 == 0 {
+		if !s.refactorize() {
+			return NumFail
+		}
+	} else if s.iters%64 == 0 {
+		s.computeBasics()
+	}
+	return Optimal
+}
+
+func (s *solver) result(st Status) Solution {
+	x := make([]float64, s.n)
+	copy(x, s.xval[:s.n])
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		obj += s.p.obj[j] * x[j]
+	}
+	return Solution{Status: st, X: x, Obj: obj, Iters: s.iters}
+}

@@ -1,0 +1,162 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolverWarmReuseAfterBoundChange(t *testing.T) {
+	// max x+y inside a box intersected with x+y <= 7.
+	p := NewProblem()
+	x := p.AddVar(0, 5, -1)
+	y := p.AddVar(0, 5, -1)
+	p.AddConstr([]Coef{{x, 1}, {y, 1}}, LE, 7)
+	s := NewSolver(p, Options{})
+
+	sol := s.Solve()
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-7)) > 1e-6 {
+		t.Fatalf("cold solve: %+v", sol)
+	}
+	// Tighten x like a branch-and-bound "down" branch.
+	p.SetBounds(x, 0, 1)
+	sol = s.Solve()
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-6)) > 1e-6 {
+		t.Fatalf("warm solve after tighten: %+v", sol)
+	}
+	// Relax back: warm solve must recover the original optimum.
+	p.SetBounds(x, 0, 5)
+	sol = s.Solve()
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-7)) > 1e-6 {
+		t.Fatalf("warm solve after relax: %+v", sol)
+	}
+	// Make it infeasible, then feasible again.
+	p.SetBounds(x, 4, 5)
+	p.SetBounds(y, 4, 5)
+	sol = s.Solve()
+	if sol.Status != Infeasible {
+		t.Fatalf("expected infeasible, got %+v", sol)
+	}
+	p.SetBounds(x, 0, 5)
+	p.SetBounds(y, 0, 5)
+	sol = s.Solve()
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-7)) > 1e-6 {
+		t.Fatalf("warm solve after re-relax: %+v", sol)
+	}
+}
+
+func TestSolverWarmObjectiveChange(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 10, 1)
+	p.AddConstr([]Coef{{x, 1}}, GE, 2)
+	s := NewSolver(p, Options{})
+	if sol := s.Solve(); math.Abs(sol.X[x]-2) > 1e-6 {
+		t.Fatalf("min: %+v", sol)
+	}
+	p.SetObj(x, -1) // now maximize
+	if sol := s.Solve(); math.Abs(sol.X[x]-10) > 1e-6 {
+		t.Fatalf("max after obj flip: %+v", sol)
+	}
+}
+
+// Property: warm solves under randomly shifting bounds always agree with
+// cold solves of the same problem.
+func TestQuickWarmEqualsCold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := rng.Intn(4) + 2
+		p := randomLP(rng, nv, rng.Intn(4)+1)
+		warm := NewSolver(p, Options{})
+
+		for step := 0; step < 6; step++ {
+			ws := warm.Solve()
+			cs := p.Solve(Options{}) // fresh cold solver
+			if ws.Status != cs.Status {
+				t.Logf("seed %d step %d: status %v vs %v", seed, step, ws.Status, cs.Status)
+				return false
+			}
+			if ws.Status == Optimal && math.Abs(ws.Obj-cs.Obj) > 1e-5 {
+				t.Logf("seed %d step %d: obj %v vs %v", seed, step, ws.Obj, cs.Obj)
+				return false
+			}
+			// Random bound tweak for the next round.
+			v := rng.Intn(nv)
+			lb, ub := p.Bounds(v)
+			switch rng.Intn(3) {
+			case 0:
+				p.SetBounds(v, lb, lb+(ub-lb)*rng.Float64())
+			case 1:
+				p.SetBounds(v, lb+(ub-lb)*rng.Float64(), ub)
+			default:
+				p.SetBounds(v, lb-1, ub+1)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefactorizeRestoresInverse(t *testing.T) {
+	// Drive a solver through enough pivots to exercise refactorization
+	// paths, then corrupt the inverse and verify refactorize repairs it.
+	p := NewProblem()
+	n := 12
+	vars := make([]int, n)
+	for i := 0; i < n; i++ {
+		vars[i] = p.AddVar(0, float64(5+i), -float64(i+1))
+	}
+	for i := 0; i+1 < n; i++ {
+		p.AddConstr([]Coef{{vars[i], 1}, {vars[i+1], 1}}, LE, float64(7+i))
+	}
+	ws := NewSolver(p, Options{})
+	sol := ws.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("setup solve: %+v", sol)
+	}
+	want := sol.Obj
+
+	// Corrupt Binv, then refactorize must rebuild it exactly.
+	inner := ws.inner
+	inner.binv[0][0] += 0.5
+	if !inner.refactorize() {
+		t.Fatal("refactorize reported singular basis")
+	}
+	sol2 := ws.Solve()
+	if sol2.Status != Optimal || math.Abs(sol2.Obj-want) > 1e-6 {
+		t.Fatalf("after refactorize: %+v want %v", sol2, want)
+	}
+}
+
+func TestManyPivotsTriggerRefactorization(t *testing.T) {
+	// A long sequence of warm re-solves with oscillating bounds pushes
+	// the lifetime pivot count past the refactorization threshold; the
+	// answers must stay exact throughout.
+	p := NewProblem()
+	x := p.AddVar(0, 100, -1)
+	y := p.AddVar(0, 100, -2)
+	z := p.AddVar(0, 100, -3)
+	p.AddConstr([]Coef{{x, 1}, {y, 1}, {z, 1}}, LE, 150)
+	p.AddConstr([]Coef{{x, 2}, {y, 1}}, LE, 180)
+	p.AddConstr([]Coef{{y, 1}, {z, 2}}, LE, 210)
+	ws := NewSolver(p, Options{})
+	for i := 0; i < 800; i++ {
+		ub := float64(50 + (i % 7 * 10))
+		p.SetBounds(x, 0, ub)
+		p.SetBounds(y, float64(i%3), 100)
+		sol := ws.Solve()
+		if sol.Status != Optimal {
+			t.Fatalf("iteration %d: %+v", i, sol)
+		}
+		cold := p.Solve(Options{})
+		if math.Abs(sol.Obj-cold.Obj) > 1e-5 {
+			t.Fatalf("iteration %d: warm %v cold %v (pivots %d)",
+				i, sol.Obj, cold.Obj, ws.inner.pivots)
+		}
+	}
+	if ws.inner.pivots < 800 {
+		t.Logf("pivot count %d below refactor threshold; test still validates warm path", ws.inner.pivots)
+	}
+}

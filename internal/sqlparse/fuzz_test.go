@@ -1,0 +1,84 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// Property: the parser never panics — arbitrary byte soup yields an
+// error or a query, not a crash.
+func TestQuickParserNeverPanics(t *testing.T) {
+	sch := relation.MustSchema("T", []string{"a", "b"}, "")
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(sch, input)
+		_, _ = ParseLog(sch, input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mutations of valid statements never panic either (these
+// reach deeper parser states than random bytes).
+func TestQuickParserMutationRobust(t *testing.T) {
+	sch := relation.MustSchema("T", []string{"a", "b"}, "")
+	seeds := []string{
+		"UPDATE T SET a = 1 WHERE b >= 2",
+		"UPDATE T SET a = a + 1, b = 2 * a WHERE a BETWEEN 1 AND 5",
+		"INSERT INTO T VALUES (1, 2)",
+		"DELETE FROM T WHERE (a < 1 OR b > 2) AND a = 3",
+		"DELETE FROM T WHERE a IN [1, 5]",
+	}
+	tokens := []string{"UPDATE", "SET", "WHERE", "(", ")", "+", "-", "*", "/",
+		",", ";", "=", "<=", ">=", "a", "b", "T", "1.5", "AND", "OR", "[", "]"}
+	f := func(seed int64) (ok bool) {
+		rng := rand.New(rand.NewSource(seed))
+		s := seeds[rng.Intn(len(seeds))]
+		parts := strings.Fields(s)
+		switch rng.Intn(4) {
+		case 0: // delete a token
+			if len(parts) > 1 {
+				i := rng.Intn(len(parts))
+				parts = append(parts[:i], parts[i+1:]...)
+			}
+		case 1: // duplicate a token
+			i := rng.Intn(len(parts))
+			parts = append(parts[:i+1], parts[i:]...)
+		case 2: // replace a token
+			parts[rng.Intn(len(parts))] = tokens[rng.Intn(len(tokens))]
+		default: // insert a random token
+			i := rng.Intn(len(parts) + 1)
+			parts = append(parts[:i], append([]string{tokens[rng.Intn(len(tokens))]}, parts[i:]...)...)
+		}
+		input := strings.Join(parts, " ")
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		if q, err := Parse(sch, input); err == nil {
+			// Whatever parsed must print and re-parse cleanly.
+			printed := q.String(sch)
+			if _, err := Parse(sch, printed); err != nil {
+				t.Logf("accepted %q but cannot re-parse its print %q: %v", input, printed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

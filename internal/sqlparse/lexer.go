@@ -1,0 +1,105 @@
+// Package sqlparse parses the SQL subset QFix supports (paper §3:
+// UPDATE/INSERT/DELETE, WHERE clauses of AND/OR-composed predicates over
+// linear expressions, linear SET clauses) into the query model. It exists
+// so the CLI, examples, and tests can express logs as text; queries print
+// back to SQL via query.Query.String, and print→parse→print is a fixpoint.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokSymbol
+)
+
+// token is one lexeme with its source offset (for error messages).
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased, symbols literal
+	num  float64
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"UPDATE": true, "SET": true, "WHERE": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"DELETE": true, "FROM": true,
+	"AND": true, "OR": true, "BETWEEN": true,
+	"TRUE": true, "FALSE": true, "IN": true, "NOT": true,
+}
+
+// lex splits input into tokens. It returns an error for any character
+// outside the supported subset.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.' ||
+				input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			text := input[start:i]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: bad number %q at %d", text, start)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: v, pos: start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			text := input[start:i]
+			up := strings.ToUpper(text)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: text, pos: start})
+			}
+		case c == '<' || c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else if c == '<' && i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{kind: tokSymbol, text: "<>", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			}
+		case c == '!' && i+1 < n && input[i+1] == '=':
+			toks = append(toks, token{kind: tokSymbol, text: "!=", pos: i})
+			i += 2
+		case strings.ContainsRune("=,()+-*/;[]", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,497 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Parser parses statements against a fixed schema, which resolves
+// attribute names to positions.
+type Parser struct {
+	schema *relation.Schema
+	toks   []token
+	pos    int
+	src    string
+}
+
+// Parse parses a single statement.
+func Parse(schema *relation.Schema, sql string) (query.Query, error) {
+	p, err := newParser(schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input after statement")
+	}
+	return q, nil
+}
+
+// ParseLog parses a sequence of statements separated by semicolons or
+// newlines into a query log.
+func ParseLog(schema *relation.Schema, sql string) ([]query.Query, error) {
+	p, err := newParser(schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	var log []query.Query
+	for !p.at(tokEOF, "") {
+		if p.accept(tokSymbol, ";") {
+			continue
+		}
+		q, err := p.statement()
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", len(log)+1, err)
+		}
+		log = append(log, q)
+	}
+	return log, nil
+}
+
+// MustParse is Parse that panics on error, for statically known inputs.
+func MustParse(schema *relation.Schema, sql string) query.Query {
+	q, err := Parse(schema, sql)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// MustParseLog is ParseLog that panics on error.
+func MustParseLog(schema *relation.Schema, sql string) []query.Query {
+	log, err := ParseLog(schema, sql)
+	if err != nil {
+		panic(err)
+	}
+	return log
+}
+
+func newParser(schema *relation.Schema, sql string) (*Parser, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{schema: schema, toks: toks, src: sql}, nil
+}
+
+func (p *Parser) cur() token  { return p.toks[p.pos] }
+func (p *Parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *Parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// statement := update | insert | delete
+func (p *Parser) statement() (query.Query, error) {
+	switch {
+	case p.accept(tokKeyword, "UPDATE"):
+		return p.update()
+	case p.accept(tokKeyword, "INSERT"):
+		return p.insert()
+	case p.accept(tokKeyword, "DELETE"):
+		return p.delete()
+	default:
+		return nil, p.errf("expected UPDATE, INSERT or DELETE, found %q", p.cur().text)
+	}
+}
+
+// resolveAttr resolves an attribute name, preferring an exact match and
+// falling back to case-insensitive comparison (SQL identifiers are
+// conventionally case-insensitive).
+func (p *Parser) resolveAttr(name string) (int, bool) {
+	if i, ok := p.schema.Index(name); ok {
+		return i, true
+	}
+	for i := 0; i < p.schema.Width(); i++ {
+		if strings.EqualFold(p.schema.Attr(i), name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (p *Parser) tableName() error {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(t.text, p.schema.Name()) {
+		return fmt.Errorf("sqlparse: unknown table %q (schema is %q)", t.text, p.schema.Name())
+	}
+	return nil
+}
+
+func (p *Parser) update() (query.Query, error) {
+	if err := p.tableName(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	var set []query.SetClause
+	for {
+		attrTok, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		attr, ok := p.resolveAttr(attrTok.text)
+		if !ok {
+			return nil, fmt.Errorf("sqlparse: unknown attribute %q", attrTok.text)
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		expr, err := p.linExpr()
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, query.SetClause{Attr: attr, Expr: expr})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	cond, err := p.optionalWhere()
+	if err != nil {
+		return nil, err
+	}
+	return query.NewUpdate(set, cond), nil
+}
+
+func (p *Parser) insert() (query.Query, error) {
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	if err := p.tableName(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var vals []float64
+	for {
+		e, err := p.linExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !e.IsConst() {
+			return nil, p.errf("INSERT values must be constants")
+		}
+		vals = append(vals, e.Const)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if len(vals) != p.schema.Width() {
+		return nil, fmt.Errorf("sqlparse: INSERT arity %d != schema width %d",
+			len(vals), p.schema.Width())
+	}
+	return query.NewInsert(vals...), nil
+}
+
+func (p *Parser) delete() (query.Query, error) {
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.tableName(); err != nil {
+		return nil, err
+	}
+	cond, err := p.optionalWhere()
+	if err != nil {
+		return nil, err
+	}
+	return query.NewDelete(cond), nil
+}
+
+func (p *Parser) optionalWhere() (query.Cond, error) {
+	if !p.accept(tokKeyword, "WHERE") {
+		return query.True{}, nil
+	}
+	return p.orCond()
+}
+
+// orCond := andCond (OR andCond)*
+func (p *Parser) orCond() (query.Cond, error) {
+	first, err := p.andCond()
+	if err != nil {
+		return nil, err
+	}
+	kids := []query.Cond{first}
+	for p.accept(tokKeyword, "OR") {
+		k, err := p.andCond()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return query.NewOr(kids...), nil
+}
+
+// andCond := condUnit (AND condUnit)*
+func (p *Parser) andCond() (query.Cond, error) {
+	first, err := p.condUnit()
+	if err != nil {
+		return nil, err
+	}
+	kids := []query.Cond{first}
+	for p.accept(tokKeyword, "AND") {
+		k, err := p.condUnit()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return query.NewAnd(kids...), nil
+}
+
+// condUnit := TRUE | FALSE | '(' orCond ')' | predicate
+// Parenthesized conditions are disambiguated from parenthesized
+// arithmetic by lookahead: after the ')' a comparison operator or
+// BETWEEN/IN means the parens were part of an expression.
+func (p *Parser) condUnit() (query.Cond, error) {
+	if p.accept(tokKeyword, "TRUE") {
+		return query.True{}, nil
+	}
+	if p.accept(tokKeyword, "FALSE") {
+		return query.NewOr(), nil
+	}
+	if p.at(tokSymbol, "(") {
+		save := p.pos
+		p.next()
+		cond, err := p.orCond()
+		if err == nil {
+			if _, err2 := p.expect(tokSymbol, ")"); err2 == nil {
+				return cond, nil
+			}
+		}
+		p.pos = save // reparse as arithmetic predicate
+	}
+	return p.predicate()
+}
+
+// predicate := expr cmp expr | expr BETWEEN expr AND expr | expr IN [lo, hi]
+func (p *Parser) predicate() (query.Cond, error) {
+	lhs, err := p.linExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.linExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.linExpr()
+		if err != nil {
+			return nil, err
+		}
+		loP, err := normalizePred(lhs, query.GE, lo)
+		if err != nil {
+			return nil, err
+		}
+		hiP, err := normalizePred(lhs, query.LE, hi)
+		if err != nil {
+			return nil, err
+		}
+		return query.NewAnd(loP, hiP), nil
+	}
+	if p.accept(tokKeyword, "IN") {
+		// Paper notation: "a_j in [lo, hi]" — an inclusive range.
+		if _, err := p.expect(tokSymbol, "["); err != nil {
+			return nil, err
+		}
+		lo, err := p.linExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ","); err != nil {
+			return nil, err
+		}
+		hi, err := p.linExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		loP, err := normalizePred(lhs, query.GE, lo)
+		if err != nil {
+			return nil, err
+		}
+		hiP, err := normalizePred(lhs, query.LE, hi)
+		if err != nil {
+			return nil, err
+		}
+		return query.NewAnd(loP, hiP), nil
+	}
+	opTok := p.cur()
+	var op query.CmpOp
+	switch opTok.text {
+	case "=":
+		op = query.EQ
+	case "<=":
+		op = query.LE
+	case ">=":
+		op = query.GE
+	case "<":
+		op = query.LT
+	case ">":
+		op = query.GT
+	default:
+		return nil, p.errf("expected comparison operator, found %q", opTok.text)
+	}
+	p.next()
+	rhs, err := p.linExpr()
+	if err != nil {
+		return nil, err
+	}
+	return normalizePred(lhs, op, rhs)
+}
+
+// normalizePred rewrites "lhs op rhs" into the canonical Pred form with
+// all attribute terms on the left and a single constant on the right:
+// (lhs-rhs without constant) op (rhsConst - lhsConst).
+func normalizePred(lhs query.LinExpr, op query.CmpOp, rhs query.LinExpr) (query.Cond, error) {
+	diff := lhs.Add(rhs.Scale(-1))
+	if diff.IsConst() {
+		return nil, fmt.Errorf("sqlparse: predicate references no attributes")
+	}
+	rhsConst := -diff.Const
+	diff.Const = 0
+	return query.NewPred(diff, op, rhsConst), nil
+}
+
+// linExpr := mulTerm (('+'|'-') mulTerm)*
+func (p *Parser) linExpr() (query.LinExpr, error) {
+	e, err := p.mulTerm()
+	if err != nil {
+		return query.LinExpr{}, err
+	}
+	for {
+		if p.accept(tokSymbol, "+") {
+			t, err := p.mulTerm()
+			if err != nil {
+				return query.LinExpr{}, err
+			}
+			e = e.Add(t)
+		} else if p.accept(tokSymbol, "-") {
+			t, err := p.mulTerm()
+			if err != nil {
+				return query.LinExpr{}, err
+			}
+			e = e.Add(t.Scale(-1))
+		} else {
+			return e, nil
+		}
+	}
+}
+
+// mulTerm := factor (('*'|'/') factor)* with the linearity restriction
+// that at least one side of '*' is constant and divisors are constant.
+func (p *Parser) mulTerm() (query.LinExpr, error) {
+	e, err := p.factor()
+	if err != nil {
+		return query.LinExpr{}, err
+	}
+	for {
+		if p.accept(tokSymbol, "*") {
+			f, err := p.factor()
+			if err != nil {
+				return query.LinExpr{}, err
+			}
+			switch {
+			case f.IsConst():
+				e = e.Scale(f.Const)
+			case e.IsConst():
+				e = f.Scale(e.Const)
+			default:
+				return query.LinExpr{}, p.errf("non-linear product of attributes")
+			}
+		} else if p.accept(tokSymbol, "/") {
+			f, err := p.factor()
+			if err != nil {
+				return query.LinExpr{}, err
+			}
+			if !f.IsConst() || f.Const == 0 {
+				return query.LinExpr{}, p.errf("division must be by a nonzero constant")
+			}
+			e = e.Scale(1 / f.Const)
+		} else {
+			return e, nil
+		}
+	}
+}
+
+// factor := NUMBER | IDENT | '(' linExpr ')' | '-' factor
+func (p *Parser) factor() (query.LinExpr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return query.ConstExpr(t.num), nil
+	case t.kind == tokIdent:
+		p.next()
+		attr, ok := p.resolveAttr(t.text)
+		if !ok {
+			return query.LinExpr{}, fmt.Errorf("sqlparse: unknown attribute %q", t.text)
+		}
+		return query.AttrExpr(attr), nil
+	case p.accept(tokSymbol, "("):
+		e, err := p.linExpr()
+		if err != nil {
+			return query.LinExpr{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return query.LinExpr{}, err
+		}
+		return e, nil
+	case p.accept(tokSymbol, "-"):
+		e, err := p.factor()
+		if err != nil {
+			return query.LinExpr{}, err
+		}
+		return e.Scale(-1), nil
+	default:
+		return query.LinExpr{}, p.errf("expected expression, found %q", t.text)
+	}
+}

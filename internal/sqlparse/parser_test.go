@@ -1,0 +1,342 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func schema() *relation.Schema {
+	return relation.MustSchema("Taxes", []string{"income", "owed", "pay"}, "")
+}
+
+func TestParseFigure2Log(t *testing.T) {
+	s := schema()
+	sql := `
+		UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;
+		INSERT INTO Taxes VALUES (85800, 21450, 0);
+		UPDATE Taxes SET pay = income - owed
+	`
+	log, err := ParseLog(s, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 {
+		t.Fatalf("got %d statements", len(log))
+	}
+	u1, ok := log[0].(*query.Update)
+	if !ok {
+		t.Fatalf("q1 is %T", log[0])
+	}
+	if len(u1.Set) != 1 || u1.Set[0].Attr != 1 {
+		t.Errorf("q1 SET = %+v", u1.Set)
+	}
+	if got := u1.Set[0].Expr.Eval([]float64{1000, 0, 0}); got != 300 {
+		t.Errorf("q1 SET expr eval = %v", got)
+	}
+	pr, ok := u1.Where.(*query.Pred)
+	if !ok || pr.Op != query.GE || pr.RHS != 85700 {
+		t.Errorf("q1 WHERE = %#v", u1.Where)
+	}
+	if _, ok := log[1].(*query.Insert); !ok {
+		t.Errorf("q2 is %T", log[1])
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	q, err := Parse(schema(), "DELETE FROM Taxes WHERE owed > 100 AND pay <= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := q.(*query.Delete)
+	and, ok := d.Where.(*query.And)
+	if !ok || len(and.Kids) != 2 {
+		t.Fatalf("WHERE = %#v", d.Where)
+	}
+	if !d.Where.Eval([]float64{0, 101, 5}) {
+		t.Error("cond should match")
+	}
+	if d.Where.Eval([]float64{0, 100, 5}) {
+		t.Error("cond should not match")
+	}
+}
+
+func TestParseNormalization(t *testing.T) {
+	// Constant on the left, attributes on both sides.
+	q := MustParse(schema(), "DELETE FROM Taxes WHERE 100 <= owed - 2*pay + 5")
+	pr := q.(*query.Delete).Where.(*query.Pred)
+	// 100 <= owed - 2*pay + 5  =>  100 - owed + 2*pay - 5 <= 0
+	// canonical: (-owed + 2*pay) <= -95 ... normalizePred computes
+	// lhs-rhs = 100 - (owed - 2 pay + 5) = 95 - owed + 2 pay
+	// => terms (-owed + 2 pay) LE rhs 5-100 = -95
+	if pr.Op != query.LE || pr.RHS != -95 {
+		t.Errorf("normalized pred = %s", pr.String(schema()))
+	}
+	if !pr.Eval([]float64{0, 105, 0}) { // 100 <= 105-0+5 = 110: true
+		t.Error("normalized pred wrong truth value")
+	}
+	if pr.Eval([]float64{0, 90, 0}) { // 100 <= 95: false
+		t.Error("normalized pred wrong truth value (false case)")
+	}
+}
+
+func TestParseBetweenAndIn(t *testing.T) {
+	a := MustParse(schema(), "UPDATE Taxes SET owed = 5 WHERE income BETWEEN 10 AND 20")
+	b := MustParse(schema(), "UPDATE Taxes SET owed = 5 WHERE income IN [10, 20]")
+	for name, q := range map[string]query.Query{"between": a, "in": b} {
+		u := q.(*query.Update)
+		if !u.Where.Eval([]float64{10, 0, 0}) || !u.Where.Eval([]float64{20, 0, 0}) {
+			t.Errorf("%s: endpoints not inclusive", name)
+		}
+		if u.Where.Eval([]float64{9, 0, 0}) || u.Where.Eval([]float64{21, 0, 0}) {
+			t.Errorf("%s: outside range matched", name)
+		}
+	}
+}
+
+func TestParseParenthesizedConditions(t *testing.T) {
+	q := MustParse(schema(),
+		"DELETE FROM Taxes WHERE (income < 5 OR owed > 10) AND pay = 0")
+	w := q.(*query.Delete).Where
+	if !w.Eval([]float64{1, 0, 0}) {
+		t.Error("(T or F) and T should hold")
+	}
+	if w.Eval([]float64{1, 0, 1}) {
+		t.Error("pay=1 should fail")
+	}
+	if w.Eval([]float64{50, 0, 0}) {
+		t.Error("(F or F) and T should fail")
+	}
+}
+
+func TestParenthesizedArithmeticNotCondition(t *testing.T) {
+	q := MustParse(schema(), "DELETE FROM Taxes WHERE (income + owed) * 2 >= 10")
+	pr, ok := q.(*query.Delete).Where.(*query.Pred)
+	if !ok {
+		t.Fatalf("WHERE = %#v", q.(*query.Delete).Where)
+	}
+	if !pr.Eval([]float64{3, 2, 0}) {
+		t.Error("(3+2)*2 >= 10 should hold")
+	}
+	if pr.Eval([]float64{2, 2, 0}) {
+		t.Error("(2+2)*2 >= 10 should fail")
+	}
+}
+
+func TestParseDivisionAndNegation(t *testing.T) {
+	q := MustParse(schema(), "UPDATE Taxes SET owed = -income / 4 + 100")
+	u := q.(*query.Update)
+	if got := u.Set[0].Expr.Eval([]float64{400, 0, 0}); got != 0 {
+		t.Errorf("eval = %v, want 0", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := schema()
+	bad := []string{
+		"",
+		"SELECT * FROM Taxes",
+		"UPDATE Nope SET owed = 1",
+		"UPDATE Taxes SET bogus = 1",
+		"UPDATE Taxes SET owed = income * owed",       // nonlinear
+		"UPDATE Taxes SET owed = income / owed",       // nonconst divisor
+		"UPDATE Taxes SET owed = income / 0",          // zero divisor
+		"INSERT INTO Taxes VALUES (1, 2)",             // arity
+		"INSERT INTO Taxes VALUES (income, 1, 2)",     // non-const
+		"DELETE FROM Taxes WHERE 5 > 3",               // no attributes
+		"DELETE FROM Taxes WHERE income >",            // truncated
+		"DELETE FROM Taxes WHERE income ! 3",          // bad op
+		"UPDATE Taxes SET owed = 1 WHERE income @ 3",  // bad char
+		"UPDATE Taxes SET owed = 1 extra",             // trailing
+		"DELETE FROM Taxes WHERE income IN [1 2]",     // missing comma
+		"DELETE FROM Taxes WHERE income BETWEEN 1 OR", // bad between
+	}
+	for _, sql := range bad {
+		if _, err := Parse(s, sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	q, err := Parse(schema(), "update taxes set OWED = 1 -- fix\n where INCOME >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind() != query.KindUpdate {
+		t.Error("case-insensitive parse failed")
+	}
+	// attribute names are case sensitive (schema has lowercase)
+	if _, err := Parse(schema(), "UPDATE Taxes SET owed = 1"); err != nil {
+		t.Errorf("lowercase attr failed: %v", err)
+	}
+}
+
+func TestPrintParseFixpoint(t *testing.T) {
+	s := schema()
+	stmts := []string{
+		"UPDATE Taxes SET owed = 0.3 * income WHERE income >= 85700",
+		"UPDATE Taxes SET pay = income - owed",
+		"UPDATE Taxes SET owed = owed + 5, pay = 2 WHERE income < 10 AND owed >= 3",
+		"INSERT INTO Taxes VALUES (85800, 21450, 0)",
+		"DELETE FROM Taxes WHERE income < 5 OR (owed >= 2 AND pay = 0)",
+		"DELETE FROM Taxes",
+	}
+	for _, sql := range stmts {
+		q1, err := Parse(s, sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		printed := q1.String(s)
+		q2, err := Parse(s, printed)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed, err)
+		}
+		if got := q2.String(s); got != printed {
+			t.Errorf("fixpoint broken:\n  first:  %q\n  second: %q", printed, got)
+		}
+	}
+}
+
+// randomCond builds a random condition tree for the property test.
+func randomCond(rng *rand.Rand, width, depth int) query.Cond {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		lhs := query.AttrExpr(rng.Intn(width))
+		if rng.Intn(4) == 0 {
+			lhs = query.NewLinExpr(0,
+				query.Term{Attr: rng.Intn(width), Coef: float64(rng.Intn(5) + 1)},
+				query.Term{Attr: rng.Intn(width), Coef: -float64(rng.Intn(5) + 1)})
+			if lhs.IsConst() { // coefficients cancelled
+				lhs = query.AttrExpr(rng.Intn(width))
+			}
+		}
+		ops := []query.CmpOp{query.EQ, query.LE, query.GE, query.LT, query.GT}
+		return query.NewPred(lhs, ops[rng.Intn(len(ops))], float64(rng.Intn(200)-100))
+	}
+	n := rng.Intn(2) + 2
+	kids := make([]query.Cond, n)
+	for i := range kids {
+		kids[i] = randomCond(rng, width, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return query.NewAnd(kids...)
+	}
+	return query.NewOr(kids...)
+}
+
+// Property: printing any random supported query and reparsing yields a
+// query with identical behaviour on random tuples, and printing is a
+// fixpoint.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	s := schema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q query.Query
+		switch rng.Intn(3) {
+		case 0:
+			nset := rng.Intn(2) + 1
+			set := make([]query.SetClause, 0, nset)
+			seen := map[int]bool{}
+			for len(set) < nset {
+				a := rng.Intn(3)
+				if seen[a] {
+					continue
+				}
+				seen[a] = true
+				set = append(set, query.SetClause{Attr: a,
+					Expr: query.NewLinExpr(float64(rng.Intn(100)),
+						query.Term{Attr: rng.Intn(3), Coef: float64(rng.Intn(3) + 1)})})
+			}
+			q = query.NewUpdate(set, randomCond(rng, 3, 2))
+		case 1:
+			q = query.NewInsert(float64(rng.Intn(100)), float64(rng.Intn(100)), float64(rng.Intn(100)))
+		default:
+			q = query.NewDelete(randomCond(rng, 3, 2))
+		}
+		printed := q.String(s)
+		q2, err := Parse(s, printed)
+		if err != nil {
+			t.Logf("parse error on %q: %v", printed, err)
+			return false
+		}
+		if q2.String(s) != printed {
+			t.Logf("fixpoint broken: %q -> %q", printed, q2.String(s))
+			return false
+		}
+		// Behavioural equivalence on random tuples.
+		for i := 0; i < 20; i++ {
+			vals := []float64{float64(rng.Intn(200) - 100), float64(rng.Intn(200) - 100), float64(rng.Intn(200) - 100)}
+			switch v := q.(type) {
+			case *query.Update:
+				if v.Where.Eval(vals) != q2.(*query.Update).Where.Eval(vals) {
+					return false
+				}
+			case *query.Delete:
+				if v.Where.Eval(vals) != q2.(*query.Delete).Where.Eval(vals) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseLogSemicolons(t *testing.T) {
+	log, err := ParseLog(schema(), ";;UPDATE Taxes SET owed = 1;;DELETE FROM Taxes;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 {
+		t.Fatalf("got %d statements", len(log))
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse(schema(), "not sql")
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks, err := lex("1.5e3 2E-2 .5 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1500, 0.02, 0.5, 42}
+	var got []float64
+	for _, tk := range toks {
+		if tk.kind == tokNumber {
+			got = append(got, tk.num)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("num %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := lex("1.2.3"); err == nil {
+		t.Error("bad number accepted")
+	}
+}
+
+func TestLexerRejectsGarbage(t *testing.T) {
+	if _, err := lex("a $ b"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if !strings.Contains(func() string { _, e := lex("#"); return e.Error() }(), "unexpected") {
+		t.Error("error message unhelpful")
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Accuracy holds the repair-quality metrics of §7.1: precision is the
+// fraction of tuples the repair changed that now match the truth, recall
+// is the fraction of all true errors the repair fixed, and F1 is their
+// harmonic mean.
+type Accuracy struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+
+	Repaired   int // tuples the repair changed vs the dirty state
+	Correct    int // of those, tuples now agreeing with the truth
+	TrueErrors int // tuples wrong in the dirty state (full complaint set)
+	Fixed      int // true errors now agreeing with the truth
+}
+
+// Evaluate replays the repaired log and scores it against the true final
+// state.
+func (in *Instance) Evaluate(repairedLog []query.Query) (Accuracy, error) {
+	repFinal, err := query.Replay(repairedLog, in.W.D0)
+	if err != nil {
+		return Accuracy{}, err
+	}
+	return Score(in.DirtyFinal, in.TruthFinal, repFinal), nil
+}
+
+// Score computes accuracy metrics from the three final states.
+func Score(dirty, truth, repaired *relation.Table, epsOpt ...float64) Accuracy {
+	eps := 1e-6
+	if len(epsOpt) > 0 {
+		eps = epsOpt[0]
+	}
+	var acc Accuracy
+
+	matches := func(a *relation.Table, id int64, b *relation.Table) bool {
+		ta, oka := a.Get(id)
+		tb, okb := b.Get(id)
+		if oka != okb {
+			return false
+		}
+		if !oka {
+			return true
+		}
+		return ta.Equal(tb, eps)
+	}
+
+	// Union of tuple IDs across the three states.
+	ids := map[int64]bool{}
+	for _, tb := range []*relation.Table{dirty, truth, repaired} {
+		for _, id := range tb.IDs() {
+			ids[id] = true
+		}
+	}
+
+	for id := range ids {
+		dirtyVsRepair := !matches(dirty, id, repaired)
+		dirtyVsTruth := !matches(dirty, id, truth)
+		repairVsTruth := matches(repaired, id, truth)
+		if dirtyVsRepair {
+			acc.Repaired++
+			if repairVsTruth {
+				acc.Correct++
+			}
+		}
+		if dirtyVsTruth {
+			acc.TrueErrors++
+			if repairVsTruth {
+				acc.Fixed++
+			}
+		}
+	}
+
+	switch {
+	case acc.Repaired > 0:
+		acc.Precision = float64(acc.Correct) / float64(acc.Repaired)
+	case acc.TrueErrors == 0:
+		acc.Precision = 1
+	}
+	if acc.TrueErrors > 0 {
+		acc.Recall = float64(acc.Fixed) / float64(acc.TrueErrors)
+	} else {
+		acc.Recall = 1
+	}
+	if acc.Precision+acc.Recall > 0 {
+		acc.F1 = 2 * acc.Precision * acc.Recall / (acc.Precision + acc.Recall)
+	}
+	if math.IsNaN(acc.F1) {
+		acc.F1 = 0
+	}
+	return acc
+}

@@ -1,0 +1,385 @@
+// Package workload generates the synthetic update workloads of the QFix
+// evaluation (§7.1): ND random tuples with Na integer attributes drawn
+// uniformly from [0, Vd], and Nq queries with Constant or Relative SET
+// clauses and Point (key equality) or Range WHERE clauses, optional
+// zipfian attribute skew, query corruption, and complaint derivation.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// SetKind selects the SET clause shape (§7.1).
+type SetKind int
+
+// SET clause shapes.
+const (
+	// ConstantSet: SET a_i = ?
+	ConstantSet SetKind = iota
+	// RelativeSet: SET a_i = a_i + ?
+	RelativeSet
+)
+
+// WhereKind selects the WHERE clause shape (§7.1).
+type WhereKind int
+
+// WHERE clause shapes.
+const (
+	// RangeWhere: WHERE a_j in [?, ?+r] on non-key attributes.
+	RangeWhere WhereKind = iota
+	// PointWhere: WHERE id = ? on the primary key.
+	PointWhere
+)
+
+// QueryMix selects statement types for GenLog.
+type QueryMix int
+
+// Statement mixes.
+const (
+	UpdateOnly QueryMix = iota
+	InsertOnly
+	DeleteOnly
+	Mixed // ~70% UPDATE, 20% INSERT, 10% DELETE
+)
+
+// Config mirrors the paper's workload parameters with their §7.1
+// defaults.
+type Config struct {
+	ND int     // initial database size (default 1000)
+	Na int     // non-key attributes (default 10)
+	Vd float64 // value domain [0, Vd] (default 200)
+	Nq int     // number of queries (default 300)
+
+	Set   SetKind
+	Where WhereKind
+	Mix   QueryMix
+
+	// Range is the range-predicate width r; query selectivity is
+	// (Range+1)/Vd. Default 4 (2% at Vd=200).
+	Range float64
+	// NumPreds is the WHERE dimensionality (default 1; §7.3 "Predicate
+	// Dimensionality" sweeps it).
+	NumPreds int
+	// Skew is the zipfian exponent s over attribute choice (0 uniform).
+	Skew float64
+
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ND == 0 {
+		c.ND = 1000
+	}
+	if c.Na == 0 {
+		c.Na = 10
+	}
+	if c.Vd == 0 {
+		c.Vd = 200
+	}
+	if c.Nq == 0 {
+		c.Nq = 300
+	}
+	if c.Range == 0 {
+		c.Range = 4
+	}
+	if c.NumPreds == 0 {
+		c.NumPreds = 1
+	}
+	return c
+}
+
+// Workload is a generated instance: initial state, true log, and the
+// attribute-picking machinery needed to corrupt queries consistently.
+type Workload struct {
+	Config Config
+	Schema *relation.Schema
+	D0     *relation.Table
+	Log    []query.Query
+
+	rng       *rand.Rand
+	zipf      []float64 // cumulative attribute-choice distribution
+	corruptFn func(rng *rand.Rand, q query.Query, p []float64)
+}
+
+// NewCustom wraps an externally generated schema, initial state, and log
+// (e.g. the TPC-C/TATP generators in internal/oltp) so the corruption,
+// instance, and scoring tooling applies to it. corrupt, if non-nil,
+// overrides the default parameter-corruption procedure — OLTP workloads
+// need domain-aware corruption (district ids, carrier ids, ...).
+func NewCustom(cfg Config, sch *relation.Schema, d0 *relation.Table, log []query.Query,
+	corrupt func(rng *rand.Rand, q query.Query, p []float64)) *Workload {
+	cfg.ND = d0.Len()
+	cfg.Nq = len(log)
+	return &Workload{
+		Config: cfg, Schema: sch, D0: d0, Log: log,
+		rng: rand.New(rand.NewSource(cfg.Seed)), corruptFn: corrupt,
+	}
+}
+
+// Generate builds a workload from the configuration.
+func Generate(cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Na < 1 {
+		return nil, fmt.Errorf("workload: need at least one attribute")
+	}
+	attrs := make([]string, cfg.Na+1)
+	attrs[0] = "id"
+	for i := 1; i <= cfg.Na; i++ {
+		attrs[i] = fmt.Sprintf("a%d", i)
+	}
+	sch, err := relation.NewSchema("synth", attrs, "id")
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{Config: cfg, Schema: sch, rng: rand.New(rand.NewSource(cfg.Seed))}
+	w.zipf = zipfCDF(cfg.Na, cfg.Skew)
+
+	w.D0 = relation.NewTable(sch)
+	for i := 0; i < cfg.ND; i++ {
+		row := make([]float64, cfg.Na+1)
+		row[0] = float64(i + 1) // key
+		for a := 1; a <= cfg.Na; a++ {
+			row[a] = math.Floor(w.rng.Float64() * (cfg.Vd + 1))
+		}
+		w.D0.MustInsert(row...)
+	}
+
+	for i := 0; i < cfg.Nq; i++ {
+		w.Log = append(w.Log, w.genQuery())
+	}
+	return w, nil
+}
+
+// MustGenerate panics on error; for tests and benchmarks with known-good
+// configurations.
+func MustGenerate(cfg Config) *Workload {
+	w, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// zipfCDF builds the cumulative distribution over attributes 1..na with
+// exponent s (s=0 is uniform; larger s concentrates mass on attribute 1,
+// matching §7.1's skew parameter).
+func zipfCDF(na int, s float64) []float64 {
+	weights := make([]float64, na)
+	total := 0.0
+	for i := 0; i < na; i++ {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	cdf := make([]float64, na)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cdf[i] = acc
+	}
+	return cdf
+}
+
+// pickAttr draws a non-key attribute index (1-based position in the
+// schema) from the skewed distribution.
+func (w *Workload) pickAttr() int {
+	u := w.rng.Float64()
+	for i, c := range w.zipf {
+		if u <= c {
+			return i + 1
+		}
+	}
+	return len(w.zipf)
+}
+
+// randVal draws an integer value uniformly from [0, Vd].
+func (w *Workload) randVal() float64 {
+	return math.Floor(w.rng.Float64() * (w.Config.Vd + 1))
+}
+
+// genWhere builds a WHERE clause per the configuration.
+func (w *Workload) genWhere() query.Cond {
+	if w.Config.Where == PointWhere {
+		// Point predicate on the key; keys are 1..ND (inserted tuples get
+		// larger keys but the paper's point queries target base rows).
+		key := float64(w.rng.Intn(w.Config.ND) + 1)
+		return query.AttrPred(0, query.EQ, key)
+	}
+	var kids []query.Cond
+	for p := 0; p < w.Config.NumPreds; p++ {
+		attr := w.pickAttr()
+		lo := w.randVal()
+		kids = append(kids,
+			query.NewAnd(
+				query.AttrPred(attr, query.GE, lo),
+				query.AttrPred(attr, query.LE, lo+w.Config.Range)))
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return query.NewAnd(kids...)
+}
+
+// genSet builds one SET clause per the configuration.
+func (w *Workload) genSet() query.SetClause {
+	attr := w.pickAttr()
+	if w.Config.Set == RelativeSet {
+		return query.SetClause{Attr: attr,
+			Expr: query.NewLinExpr(w.randVal(), query.Term{Attr: attr, Coef: 1})}
+	}
+	return query.SetClause{Attr: attr, Expr: query.ConstExpr(w.randVal())}
+}
+
+// genQuery builds one statement per the mix.
+func (w *Workload) genQuery() query.Query {
+	kind := query.KindUpdate
+	switch w.Config.Mix {
+	case InsertOnly:
+		kind = query.KindInsert
+	case DeleteOnly:
+		kind = query.KindDelete
+	case Mixed:
+		switch r := w.rng.Float64(); {
+		case r < 0.2:
+			kind = query.KindInsert
+		case r < 0.3:
+			kind = query.KindDelete
+		}
+	}
+	switch kind {
+	case query.KindInsert:
+		row := make([]float64, w.Config.Na+1)
+		row[0] = float64(w.Config.ND + w.rng.Intn(1<<20) + 1)
+		for a := 1; a <= w.Config.Na; a++ {
+			row[a] = w.randVal()
+		}
+		return query.NewInsert(row...)
+	case query.KindDelete:
+		return query.NewDelete(w.genWhere())
+	default:
+		return query.NewUpdate([]query.SetClause{w.genSet()}, w.genWhere())
+	}
+}
+
+// Corrupt returns a copy of the log with the parameters of the query at
+// index idx replaced by fresh random values of the same shape (§7.1
+// "Corrupting Queries": replace with a randomly generated query of the
+// same type; structure is preserved because repairs address constants).
+func (w *Workload) Corrupt(idx int) ([]query.Query, error) {
+	if idx < 0 || idx >= len(w.Log) {
+		return nil, fmt.Errorf("workload: corrupt index %d out of range", idx)
+	}
+	dirty := query.CloneLog(w.Log)
+	q := dirty[idx]
+	p := q.Params()
+	if w.corruptFn != nil {
+		w.corruptFn(w.rng, q, p)
+		if err := q.SetParams(p); err != nil {
+			return nil, err
+		}
+		return dirty, nil
+	}
+	switch v := q.(type) {
+	case *query.Update:
+		for si := range v.Set {
+			p[si] = w.randVal()
+		}
+		base := len(v.Set)
+		w.corruptPreds(v.Where, p, base)
+	case *query.Delete:
+		w.corruptPreds(v.Where, p, 0)
+	case *query.Insert:
+		for j := 1; j < len(p); j++ { // keep the key; corrupt the payload
+			p[j] = w.randVal()
+		}
+	}
+	if err := q.SetParams(p); err != nil {
+		return nil, err
+	}
+	return dirty, nil
+}
+
+// corruptPreds rewrites predicate constants, keeping range pairs
+// consistent (lo' and lo'+r) so the corrupted query has the same
+// selectivity family as the original.
+func (w *Workload) corruptPreds(c query.Cond, p []float64, base int) {
+	i := base
+	var preds []*query.Pred
+	query.WalkPreds(c, func(pr *query.Pred) { preds = append(preds, pr) })
+	for j := 0; j < len(preds); j++ {
+		if j+1 < len(preds) && preds[j].Op == query.GE && preds[j+1].Op == query.LE {
+			width := preds[j+1].RHS - preds[j].RHS
+			lo := w.randVal()
+			p[i+j] = lo
+			p[i+j+1] = lo + width
+			j++
+			continue
+		}
+		if preds[j].Op == query.EQ { // point predicate: fresh key
+			p[i+j] = float64(w.rng.Intn(w.Config.ND) + 1)
+			continue
+		}
+		p[i+j] = w.randVal()
+	}
+}
+
+// Instance bundles a corrupted run: dirty log, replayed states, and the
+// complete complaint set, ready for core.Diagnose.
+type Instance struct {
+	W          *Workload
+	Dirty      []query.Query
+	CorruptIdx []int
+	DirtyFinal *relation.Table
+	TruthFinal *relation.Table
+	Complaints []core.Complaint
+}
+
+// MakeInstance corrupts the given indices and derives the complete
+// complaint set by tuple-wise diff (§7.1).
+func (w *Workload) MakeInstance(corruptIdx ...int) (*Instance, error) {
+	dirty := query.CloneLog(w.Log)
+	for _, idx := range corruptIdx {
+		d, err := w.Corrupt(idx)
+		if err != nil {
+			return nil, err
+		}
+		// Corrupt mutates a fresh clone each call; merge the corrupted
+		// query into the running dirty log.
+		dirty[idx] = d[idx]
+	}
+	dirtyFinal, err := query.Replay(dirty, w.D0)
+	if err != nil {
+		return nil, err
+	}
+	truthFinal, err := query.Replay(w.Log, w.D0)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		W: w, Dirty: dirty, CorruptIdx: corruptIdx,
+		DirtyFinal: dirtyFinal, TruthFinal: truthFinal,
+		Complaints: core.ComplaintsFromDiff(dirtyFinal, truthFinal, 1e-9),
+	}, nil
+}
+
+// Incomplete returns a complaint subset with the given fraction removed
+// at random (the §7.3 "Incomplete Complaint Set" experiments; rate 0.75
+// means 75% of true complaints go unreported).
+func (in *Instance) Incomplete(rate float64, seed int64) []core.Complaint {
+	rng := rand.New(rand.NewSource(seed))
+	var kept []core.Complaint
+	for _, c := range in.Complaints {
+		if rng.Float64() >= rate {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 && len(in.Complaints) > 0 {
+		kept = append(kept, in.Complaints[rng.Intn(len(in.Complaints))])
+	}
+	return kept
+}

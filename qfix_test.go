@@ -1,0 +1,86 @@
+package qfix_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	qfix "repro"
+)
+
+// TestPublicAPIRoundTrip drives the documented quick-start flow end to
+// end through the facade only.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	sch, err := qfix.NewSchema("Taxes", []string{"income", "owed", "pay"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := qfix.NewTable(sch)
+	d0.MustInsert(9500, 950, 8550)
+	d0.MustInsert(90000, 22500, 67500)
+	d0.MustInsert(86000, 21500, 64500)
+	d0.MustInsert(86500, 21625, 64875)
+
+	history, err := qfix.ParseLog(sch, `
+		UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;
+		INSERT INTO Taxes VALUES (85800, 21450, 0);
+		UPDATE Taxes SET pay = income - owed`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	complaints := []qfix.Complaint{
+		{TupleID: 3, Exists: true, Values: []float64{86000, 21500, 64500}},
+		{TupleID: 4, Exists: true, Values: []float64{86500, 21625, 64875}},
+	}
+	rep, err := qfix.Diagnose(d0, history, complaints, qfix.Options{
+		Algorithm:    qfix.Incremental,
+		TupleSlicing: true,
+		QuerySlicing: true,
+		TimeLimit:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Fatalf("not resolved: %+v", rep.Stats)
+	}
+	if len(rep.Changed) != 1 || rep.Changed[0] != 0 {
+		t.Errorf("changed = %v", rep.Changed)
+	}
+	if rep.Distance <= 0 || rep.Distance != qfix.Distance(history, rep.Log) {
+		t.Errorf("distance inconsistent: %v", rep.Distance)
+	}
+
+	final, err := qfix.Replay(rep.Log, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := final.Get(3)
+	if !ok || math.Abs(got.Values[1]-21500) > 1e-6 {
+		t.Errorf("t3 after repair = %v", got.Values)
+	}
+
+	// The diff between dirty and repaired states covers the complaints.
+	dirtyFinal, _ := qfix.Replay(history, d0)
+	diffs := qfix.DiffTables(dirtyFinal, final, 1e-9)
+	if len(diffs) < 2 {
+		t.Errorf("expected >= 2 repaired tuples, got %d", len(diffs))
+	}
+
+	// ComplaintsFromDiff reconstructs the complaint set from states.
+	derived := qfix.ComplaintsFromDiff(dirtyFinal, final, 1e-9)
+	if len(derived) != len(diffs) {
+		t.Errorf("derived %d complaints from %d diffs", len(derived), len(diffs))
+	}
+}
+
+func TestPublicParseErrors(t *testing.T) {
+	sch, _ := qfix.NewSchema("T", []string{"a"}, "")
+	if _, err := qfix.Parse(sch, "SELECT 1"); err == nil {
+		t.Error("SELECT accepted")
+	}
+	if _, err := qfix.ParseLog(sch, "UPDATE T SET a = b"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
