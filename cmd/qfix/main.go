@@ -38,6 +38,8 @@ func main() {
 		keyAttr   = flag.String("key", "", "primary key attribute name (optional)")
 		algo      = flag.String("algorithm", "incremental", "basic | incremental")
 		k         = flag.Int("k", 1, "incremental batch size")
+		parallel  = flag.Int("parallel", 1, "concurrent incremental batch workers")
+		partition = flag.Int("partition", 0, "partition-parallel diagnosis workers (0 disables partitioning)")
 		noTuple   = flag.Bool("no-tuple-slicing", false, "disable tuple slicing")
 		noQuery   = flag.Bool("no-query-slicing", false, "disable query slicing")
 		attrSlice = flag.Bool("attr-slicing", false, "enable attribute slicing")
@@ -64,6 +66,8 @@ func main() {
 
 	opts := qfix.Options{
 		K:                *k,
+		Parallel:         *parallel,
+		Partition:        *partition,
 		TupleSlicing:     !*noTuple,
 		QuerySlicing:     !*noQuery,
 		AttrSlicing:      *attrSlice,
@@ -86,6 +90,10 @@ func main() {
 
 	fmt.Printf("-- diagnosis completed in %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("-- complaints resolved: %v; repair distance: %.3f\n", rep.Resolved, rep.Distance)
+	if rep.Stats.Partitions > 0 {
+		fmt.Printf("-- partitions: %d (fallback to joint solve: %v)\n",
+			rep.Stats.Partitions, rep.Stats.PartitionFallback)
+	}
 	if len(rep.Changed) == 0 {
 		fmt.Println("-- no queries needed repair")
 	}

@@ -1,0 +1,3 @@
+UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;
+INSERT INTO Taxes VALUES (85800, 21450, 0);
+UPDATE Taxes SET pay = income - owed;

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	qfix "repro"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/denoise"
 	"repro/internal/oltp"
@@ -69,6 +70,43 @@ func TestIntegrationTwoCorruptionsBasic(t *testing.T) {
 	}
 	if !rep.Resolved {
 		t.Fatalf("unresolved: %+v", rep.Stats)
+	}
+}
+
+func TestIntegrationPartitionedThroughFacade(t *testing.T) {
+	// The partition engine end to end through the public API: the bench
+	// cluster generator, one corruption per cluster, diagnosis with
+	// Options.Partition, replay scoring against the truth.
+	w, corruptIdx, err := bench.PartitionClusters(6, 4, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := w.MakeInstance(corruptIdx...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := qfix.Diagnose(w.D0, in.Dirty, in.Complaints, qfix.Options{
+		Algorithm:    qfix.Basic,
+		TupleSlicing: true,
+		QuerySlicing: true,
+		Partition:    4,
+		TimeLimit:    60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Fatalf("unresolved: %+v", rep.Stats)
+	}
+	if rep.Stats.Partitions != 6 {
+		t.Errorf("Stats.Partitions = %d, want 6", rep.Stats.Partitions)
+	}
+	acc, err := in.Evaluate(rep.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Recall < 1 {
+		t.Errorf("recall = %v (%+v)", acc.Recall, acc)
 	}
 }
 

@@ -3,12 +3,17 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
 )
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Errorf("expected 15 experiments (every figure + ex2 + ablation), got %d", len(exps))
+	if len(exps) != 16 {
+		t.Errorf("expected 16 experiments (every figure + ex2 + ablation + partition), got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -116,6 +121,67 @@ func TestFig10QuickShape(t *testing.T) {
 	}
 	if decF1 >= qfixF1 {
 		t.Errorf("dectree (%v) should not beat qfix (%v)", decF1, qfixF1)
+	}
+}
+
+func TestPartitionOutcomeMatchesJoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode (the joint Basic MILP needs seconds of solver time; " +
+			"race overhead can push it past its limit and flake the parity check)")
+	}
+	// The partition engine's contract on the bench workload: with 8
+	// independent complaint clusters, Partition=4 must produce exactly
+	// the joint path's Resolved/per-complaint outcome (and actually
+	// decompose into 8 partitions rather than falling back). One query
+	// per cluster keeps the joint Basic MILP solvable inside the time
+	// limit — at the figure's larger sizes the joint encoding times out,
+	// which is precisely the scaling wall the partition engine removes.
+	w, corruptIdx, err := PartitionClusters(8, 4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corruptIdx) != 8 {
+		t.Fatalf("corrupted %d queries, want 8", len(corruptIdx))
+	}
+	in, err := w.MakeInstance(corruptIdx...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Options{Algorithm: core.Basic, TupleSlicing: true, QuerySlicing: true,
+		TimeLimit: 120 * time.Second}
+	joint, err := core.Diagnose(w.D0, in.Dirty, in.Complaints, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := base
+	part.Partition = 4
+	parted, err := core.Diagnose(w.D0, in.Dirty, in.Complaints, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Resolved != parted.Resolved {
+		t.Fatalf("resolved mismatch: joint=%v parted=%v (%+v / %+v)",
+			joint.Resolved, parted.Resolved, joint.Stats, parted.Stats)
+	}
+	if parted.Stats.Partitions != 8 {
+		t.Errorf("Stats.Partitions = %d, want 8", parted.Stats.Partitions)
+	}
+	if parted.Stats.PartitionFallback {
+		t.Error("independent clusters triggered the joint fallback")
+	}
+	jf, err := query.Replay(joint.Log, w.D0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := query.Replay(parted.Log, w.D0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range in.Complaints {
+		one := []core.Complaint{c}
+		if core.ComplaintsResolved(jf, one, 1e-6) != core.ComplaintsResolved(pf, one, 1e-6) {
+			t.Errorf("complaint %d resolution differs between joint and partitioned", i)
+		}
 	}
 }
 

@@ -121,6 +121,7 @@ func Experiments() []Experiment {
 		{"fig10", "DecTree baseline vs QFix: performance and accuracy", (*Runner).Fig10DecTree},
 		{"ex2", "Figure 2 case study: end-to-end repair of the tax example", (*Runner).Example2},
 		{"ablation", "Implementation ablations: folding, param windows, warm LP starts", (*Runner).Ablation},
+		{"partition", "Partition-parallel diagnosis: joint vs partitioned on independent complaint clusters", (*Runner).FigPartition},
 	}
 }
 

@@ -42,9 +42,22 @@ func Diagnose(d0 *relation.Table, log []query.Query, complaints []Complaint, opt
 		d.deadline = time.Now().Add(opt.TotalTimeLimit)
 	}
 
-	switch opt.Algorithm {
+	if opt.Partition > 0 {
+		if rep, handled, err := d.partitioned(); handled {
+			return rep, err
+		}
+	}
+	return d.solveJoint()
+}
+
+// solveJoint runs the configured algorithm over the whole complaint set
+// (the solve stage when partition planning is off or found a single
+// component, and the fallback when partition merging detects a
+// conflict or cross-partition interference).
+func (d *diagnoser) solveJoint() (*Repair, error) {
+	switch d.opt.Algorithm {
 	case Incremental:
-		if opt.Parallel > 1 {
+		if d.opt.Parallel > 1 {
 			return d.incrementalParallel()
 		}
 		return d.incremental()
@@ -66,33 +79,37 @@ type diagnoser struct {
 	candidates []int // repair candidates (query slicing or all)
 	attrs      []int // encoded attributes (attr slicing or nil)
 	tupleIDs   []int64
+	full       []query.AttrSet     // full impact F(q) per query (nil unless needed)
+	dirtyVals  map[int64][]float64 // dirty final state by tuple id
+	ac         query.AttrSet       // complaint attributes A(C)
 
 	stats Stats
 }
 
 // plan computes the slicing sets (§5.2–5.3) and the tuple slice (§5.1).
+// Its products stay on the diagnoser: the partition planner reuses the
+// full-impact sets and per-tuple dirty values to build the
+// complaint–query interaction graph without recomputing them.
 func (d *diagnoser) plan() {
-	dirtyVals := make(map[int64][]float64, d.dirtyFinal.Len())
+	d.dirtyVals = make(map[int64][]float64, d.dirtyFinal.Len())
 	d.dirtyFinal.Rows(func(t relation.Tuple) {
-		dirtyVals[t.ID] = append([]float64(nil), t.Values...)
+		d.dirtyVals[t.ID] = append([]float64(nil), t.Values...)
 	})
-	ac := complaintAttrs(d.complaints, dirtyVals, d.width)
+	d.ac = complaintAttrs(d.complaints, d.dirtyVals, d.width)
 
+	if d.opt.QuerySlicing || d.opt.AttrSlicing || d.opt.Partition > 0 {
+		d.full = FullImpact(d.log, d.width)
+	}
 	if d.opt.QuerySlicing {
-		full := FullImpact(d.log, d.width)
-		d.candidates = relevantQueries(full, ac, d.opt.SingleCorruption)
-		if d.opt.AttrSlicing {
-			d.attrs = relevantAttrs(d.log, full, d.candidates, ac)
-		}
+		d.candidates = relevantQueries(d.full, d.ac, d.opt.SingleCorruption)
 	} else {
 		d.candidates = make([]int, len(d.log))
 		for i := range d.log {
 			d.candidates[i] = i
 		}
-		if d.opt.AttrSlicing {
-			full := FullImpact(d.log, d.width)
-			d.attrs = relevantAttrs(d.log, full, d.candidates, ac)
-		}
+	}
+	if d.opt.AttrSlicing {
+		d.attrs = relevantAttrs(d.log, d.full, d.candidates, d.ac)
 	}
 	if d.opt.Candidates != nil {
 		allowed := make(map[int]bool, len(d.opt.Candidates))

@@ -29,25 +29,33 @@ func FullImpact(log []query.Query, width int) []query.AttrSet {
 }
 
 // complaintAttrs computes A(C) (Definition 6) against the dirty final
-// state: the attributes identified as incorrect. Value complaints
-// contribute the attributes where the target disagrees with the dirty
-// final state; existence complaints (insert/delete repairs) contribute
-// every attribute.
+// state: the attributes identified as incorrect.
 func complaintAttrs(complaints []Complaint, dirtyVals map[int64][]float64, width int) query.AttrSet {
 	a := make(query.AttrSet)
 	for _, c := range complaints {
-		dirty, inFinal := dirtyVals[c.TupleID]
-		if !c.Exists || !inFinal {
-			// Tuple existence is wrong: every attribute is implicated.
-			for i := 0; i < width; i++ {
-				a[i] = true
-			}
-			continue
-		}
+		a.Union(complaintAttrSet(c, dirtyVals, width))
+	}
+	return a
+}
+
+// complaintAttrSet computes A(c) for a single complaint: value
+// complaints contribute the attributes where the target disagrees with
+// the dirty final state; existence complaints (insert/delete repairs)
+// contribute every attribute. The per-complaint sets drive the
+// partition planner's interaction graph; their union is A(C).
+func complaintAttrSet(c Complaint, dirtyVals map[int64][]float64, width int) query.AttrSet {
+	a := make(query.AttrSet)
+	dirty, inFinal := dirtyVals[c.TupleID]
+	if !c.Exists || !inFinal {
+		// Tuple existence is wrong: every attribute is implicated.
 		for i := 0; i < width; i++ {
-			if dirty[i] != c.Values[i] {
-				a[i] = true
-			}
+			a[i] = true
+		}
+		return a
+	}
+	for i := 0; i < width; i++ {
+		if dirty[i] != c.Values[i] {
+			a[i] = true
 		}
 	}
 	return a

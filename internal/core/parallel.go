@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -9,16 +8,18 @@ import (
 )
 
 // incrementalParallel runs the Inc_k batch scan with Options.Parallel
-// workers. Batches are independent MILPs, so they solve concurrently;
-// the *choice* stays deterministic and identical to the sequential scan:
-// batches are adjudicated in newest-first order, the first clean repair
-// wins, and the least-damaging resolved repair is the fallback. Workers
-// that are still running batches older than an accepted result are
-// abandoned (their statistics still count).
+// workers on the shared scheduler (sched.go). Batches are independent
+// MILPs, so they solve concurrently; the *choice* stays deterministic
+// and identical to the sequential scan: batches are adjudicated in
+// newest-first order, the first clean repair wins, and the
+// least-damaging resolved repair is the fallback. Workers that are
+// still pending behind an accepted result are abandoned (their
+// statistics still count).
 //
 // This addresses the paper's closing direction ("we plan to investigate
 // additional methods of scaling the constraint analysis") with the
-// natural Go construction.
+// natural Go construction; partition.go layers the complaint-level
+// decomposition on the same scheduler.
 func (d *diagnoser) incrementalParallel() (*Repair, error) {
 	cands := append([]int(nil), d.candidates...)
 	for i, j := 0, len(cands)-1; i < j; i, j = i+1, j-1 {
@@ -42,46 +43,39 @@ func (d *diagnoser) incrementalParallel() (*Repair, error) {
 		err      error
 		stats    Stats
 	}
-	results := make([]chan outcome, len(batches))
-	for i := range results {
-		results[i] = make(chan outcome, 1)
-	}
-
 	var stop atomic.Bool
-	sem := make(chan struct{}, d.opt.Parallel)
-	var wg sync.WaitGroup
-	for bi, batch := range batches {
-		wg.Add(1)
-		go func(bi int, batch []int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var st Stats
-			if stop.Load() || (!d.deadline.IsZero() && time.Now().After(d.deadline)) {
-				st.LastStatus = "skipped"
-				results[bi] <- outcome{stats: st}
-				return
-			}
-			paramSet := make(map[int]bool, len(batch))
-			for _, qi := range batch {
-				paramSet[qi] = true
-			}
-			repaired, ok, err := d.attempt(d.log, paramSet, nil, &st)
-			if err == nil && ok {
-				repaired = d.maybeRefine(repaired, paramSet, &st)
-			} else {
-				repaired = nil
-			}
-			results[bi] <- outcome{repaired: repaired, err: err, stats: st}
-		}(bi, batch)
-	}
+	results, wait := schedule(d.opt.Parallel, len(batches), func(bi int) outcome {
+		var st Stats
+		if stop.Load() || (!d.deadline.IsZero() && time.Now().After(d.deadline)) {
+			st.LastStatus = "skipped"
+			return outcome{stats: st}
+		}
+		batch := batches[bi]
+		paramSet := make(map[int]bool, len(batch))
+		for _, qi := range batch {
+			paramSet[qi] = true
+		}
+		repaired, ok, err := d.attempt(d.log, paramSet, nil, &st)
+		if err == nil && ok {
+			repaired = d.maybeRefine(repaired, paramSet, &st)
+		} else {
+			repaired = nil
+		}
+		return outcome{repaired: repaired, err: err, stats: st}
+	})
 
-	// Adjudicate in order; merge worker statistics as they arrive.
+	// Adjudicate in order; merge worker statistics as they arrive. The
+	// status of the batch that produces the returned repair is pinned
+	// after the scan: late-arriving workers (typically "skipped" ones
+	// abandoned behind the accepted result) must not clobber the
+	// decisive solver status.
 	var fallback *Repair
 	fallbackDamage := 0
+	fallbackStatus := ""
 	var firstErr error
 	decided := false
 	var winner *Repair
+	winnerStatus := ""
 	for bi := range batches {
 		out := <-results[bi]
 		d.mergeStats(out.stats)
@@ -98,6 +92,7 @@ func (d *diagnoser) incrementalParallel() (*Repair, error) {
 		damage := d.nonComplaintDamage(rep.Log)
 		if damage == 0 {
 			winner = rep
+			winnerStatus = out.stats.LastStatus
 			decided = true
 			stop.Store(true) // later (older) batches need not start
 			continue
@@ -105,18 +100,25 @@ func (d *diagnoser) incrementalParallel() (*Repair, error) {
 		if fallback == nil || damage < fallbackDamage ||
 			(damage == fallbackDamage && rep.Distance < fallback.Distance) {
 			fallback, fallbackDamage = rep, damage
+			fallbackStatus = out.stats.LastStatus
 		}
 	}
-	wg.Wait()
+	wait()
 
 	if firstErr != nil && winner == nil && fallback == nil {
 		return nil, firstErr
 	}
 	if winner != nil {
+		if winnerStatus != "" {
+			d.stats.LastStatus = winnerStatus
+		}
 		winner.Stats = d.stats
 		return winner, nil
 	}
 	if fallback != nil {
+		if fallbackStatus != "" {
+			d.stats.LastStatus = fallbackStatus
+		}
 		fallback.Stats = d.stats
 		return fallback, nil
 	}
@@ -136,6 +138,12 @@ func (d *diagnoser) mergeStats(st Stats) {
 	d.stats.SolveTime += st.SolveTime
 	if st.Refined {
 		d.stats.Refined = true
+	}
+	if st.Partitions > d.stats.Partitions {
+		d.stats.Partitions = st.Partitions
+	}
+	if st.PartitionFallback {
+		d.stats.PartitionFallback = true
 	}
 	if st.LastStatus != "" {
 		d.stats.LastStatus = st.LastStatus

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/query"
+	"repro/internal/relation"
 )
 
 func TestParallelMatchesSequentialFigure2(t *testing.T) {
@@ -90,6 +91,52 @@ func TestQuickParallelDeterminism(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestParallelPinsDecisiveStatus(t *testing.T) {
+	// Regression: with more batches than workers and the corruption in
+	// the newest query, the winning batch decides early and the
+	// abandoned older batches report "skipped" afterwards. Their merge
+	// must not clobber the decisive batch's solver status.
+	sch := relation.MustSchema("T", []string{"a", "b"}, "")
+	d0 := relation.NewTable(sch)
+	for i := 0; i < 5; i++ {
+		d0.MustInsert(float64(i*10), 0)
+	}
+	mk := func(theta float64) []query.Query {
+		log := []query.Query{}
+		// Plenty of decoy queries older than the corruption so the scan
+		// has many batches to abandon.
+		for i := 0; i < 12; i++ {
+			log = append(log, query.NewUpdate(
+				[]query.SetClause{{Attr: 1, Expr: query.NewLinExpr(float64(i+1),
+					query.Term{Attr: 1, Coef: 1})}},
+				query.AttrPred(0, query.GE, 500))) // matches nothing
+		}
+		return append(log, query.NewUpdate(
+			[]query.SetClause{{Attr: 1, Expr: query.ConstExpr(1)}},
+			query.AttrPred(0, query.GE, theta))) // corrupted (newest)
+	}
+	dirty, truth := mk(10), mk(30)
+	complaints := completeComplaints(t, d0, dirty, truth)
+	for trial := 0; trial < 5; trial++ {
+		rep, err := Diagnose(d0, dirty, complaints, Options{
+			Algorithm:    Incremental,
+			TupleSlicing: true,
+			Parallel:     2,
+			TimeLimit:    30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Resolved {
+			t.Fatalf("not resolved: %+v", rep.Stats)
+		}
+		if rep.Stats.LastStatus == "skipped" {
+			t.Fatalf("trial %d: LastStatus clobbered by a skipped worker: %+v",
+				trial, rep.Stats)
+		}
 	}
 }
 

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/query"
+)
+
+// This file is the planning half of the plan/solve engine. FullImpact
+// (Definition 7) already tells us which queries can possibly influence
+// which attributes of the final state, so complaints whose
+// relevant-query candidate sets are disjoint are provably independent
+// subproblems: no parameter change that resolves one can touch the
+// attributes the other complains about. planPartitions splits the
+// complaint set into the connected components of that interaction
+// graph; solvePartitions runs each component as an independent
+// sub-diagnosis on the shared scheduler; mergePartitionRepairs stitches
+// the per-partition repairs back into one log repair, falling back to a
+// joint solve whenever independence turns out to be violated at merge
+// or verification time.
+
+// partition is one independent subproblem: a subset of the complaints
+// plus the union of their relevant-query candidate sets.
+type partition struct {
+	complaintIdx []int // indices into the diagnoser's complaint slice
+	candidates   []int // log indices, sorted ascending
+}
+
+// interactionSets computes, for each complaint, the set of global
+// candidates whose full impact intersects that complaint's A(c). These
+// are the edges of the complaint–query interaction graph.
+func interactionSets(complaints []Complaint, full []query.AttrSet,
+	dirtyVals map[int64][]float64, width int, candidates []int) [][]int {
+	sets := make([][]int, len(complaints))
+	for ci, c := range complaints {
+		ac := complaintAttrSet(c, dirtyVals, width)
+		for _, qi := range candidates {
+			if full[qi].Intersects(ac) {
+				sets[ci] = append(sets[ci], qi)
+			}
+		}
+	}
+	return sets
+}
+
+// unionFind is a plain weighted union-find over 0..n-1.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// planPartitions splits the complaints into connected components of the
+// interaction graph: two complaints are connected iff their candidate
+// sets share a query (transitively). Components that share a candidate
+// are therefore always unioned — the correctness requirement — because
+// sharing a candidate *is* the graph's edge relation. Complaints with
+// an empty candidate set (nothing can influence their attributes, or
+// the complaint is already satisfied by the dirty state) attach to the
+// first partition so they stay under the same verification umbrella
+// instead of spawning unsolvable singletons.
+//
+// Partitions are ordered by their smallest complaint index, so planning
+// is deterministic for a given input.
+func planPartitions(complaints []Complaint, full []query.AttrSet,
+	dirtyVals map[int64][]float64, width int, candidates []int) []partition {
+	sets := interactionSets(complaints, full, dirtyVals, width, candidates)
+
+	uf := newUnionFind(len(complaints))
+	owner := make(map[int]int) // query index -> first complaint seen with it
+	for ci, set := range sets {
+		for _, qi := range set {
+			if first, ok := owner[qi]; ok {
+				uf.union(first, ci)
+			} else {
+				owner[qi] = ci
+			}
+		}
+	}
+
+	byRoot := make(map[int]*partition)
+	var order []int
+	var orphans []int // complaints with no candidate queries
+	for ci := range complaints {
+		if len(sets[ci]) == 0 {
+			orphans = append(orphans, ci)
+			continue
+		}
+		root := uf.find(ci)
+		p, ok := byRoot[root]
+		if !ok {
+			p = &partition{}
+			byRoot[root] = p
+			order = append(order, root)
+		}
+		p.complaintIdx = append(p.complaintIdx, ci)
+	}
+
+	parts := make([]partition, 0, len(order))
+	for _, root := range order {
+		p := byRoot[root]
+		cands := make(query.AttrSet)
+		for _, ci := range p.complaintIdx {
+			cands.Add(sets[ci]...)
+		}
+		parts = append(parts, partition{
+			complaintIdx: p.complaintIdx,
+			candidates:   cands.Sorted(),
+		})
+	}
+	if len(orphans) > 0 {
+		if len(parts) == 0 {
+			parts = append(parts, partition{})
+		}
+		parts[0].complaintIdx = append(orphans, parts[0].complaintIdx...)
+		sort.Ints(parts[0].complaintIdx)
+	}
+	return parts
+}
+
+// partitioned is the partition-parallel solve path. handled=false means
+// planning found fewer than two components and the caller should fall
+// through to the joint path (the single-component stats still record
+// that planning ran).
+func (d *diagnoser) partitioned() (*Repair, bool, error) {
+	parts := planPartitions(d.complaints, d.full, d.dirtyVals, d.width, d.candidates)
+	d.stats.Partitions = len(parts)
+	if len(parts) < 2 {
+		return nil, false, nil
+	}
+	reps, err := d.solvePartitions(parts)
+	if err != nil {
+		return nil, true, err
+	}
+	rep, err := d.mergePartitionRepairs(parts, reps)
+	return rep, true, err
+}
+
+// solvePartitions runs every partition as an independent sub-diagnosis
+// on the shared scheduler with Options.Partition workers. Each
+// sub-diagnosis sees the full log and initial state but only its
+// partition's complaints, with repair candidates pinned to the
+// partition's candidate set; inner parallelism is disabled so the
+// concurrency budget is spent at the partition level.
+func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
+	sub := d.opt
+	sub.Partition = 0
+	sub.Parallel = 1
+	sub.TotalTimeLimit = 0 // the outer deadline is enforced per job below
+
+	type outcome struct {
+		rep *Repair
+		err error
+	}
+	results, wait := schedule(d.opt.Partition, len(parts), func(i int) outcome {
+		o := sub
+		if !d.deadline.IsZero() {
+			remain := time.Until(d.deadline)
+			if remain <= 0 {
+				return outcome{rep: &Repair{Log: query.CloneLog(d.log),
+					Stats: Stats{LastStatus: "total-time-limit"}}}
+			}
+			o.TotalTimeLimit = remain
+		}
+		o.Candidates = append([]int(nil), parts[i].candidates...)
+		cs := make([]Complaint, len(parts[i].complaintIdx))
+		for j, ci := range parts[i].complaintIdx {
+			cs[j] = d.complaints[ci]
+		}
+		rep, err := Diagnose(d.d0, d.log, cs, o)
+		return outcome{rep: rep, err: err}
+	})
+	defer wait()
+
+	reps := make([]*Repair, len(parts))
+	var firstErr error
+	for i := range parts {
+		out := <-results[i]
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		reps[i] = out.rep
+		d.mergeStats(out.rep.Stats)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return reps, nil
+}
+
+// mergePartitionRepairs combines the per-partition repairs into one log
+// repair: parameter assignments from every partition are applied to the
+// original log, distance is summed (Manhattan distance is additive over
+// disjoint query sets), Changed is unioned, and Stats were already
+// merged as results arrived. Safety nets, in order:
+//
+//   - conflicting parameter assignments to a shared query (impossible
+//     when partitions are true connected components, but checked
+//     defensively) → union the conflicting partitions and re-solve each
+//     union jointly; if conflicts somehow persist, solve everything
+//     jointly;
+//   - a partition that failed to resolve → the joint outcome would be
+//     unresolved too, so return the identity repair unresolved, exactly
+//     like the sequential scan does;
+//   - the merged log fails full-complaint verification (cross-partition
+//     interference through tuples outside the complaint attributes) →
+//     fall back to a joint solve.
+func (d *diagnoser) mergePartitionRepairs(parts []partition, reps []*Repair) (*Repair, error) {
+	merged, conflicts := applyPartitionParams(d.log, reps)
+	if len(conflicts) > 0 {
+		d.stats.PartitionFallback = true
+		var err error
+		parts, reps, err = d.resolveConflicts(parts, reps, conflicts)
+		if err != nil {
+			return nil, err
+		}
+		merged, conflicts = applyPartitionParams(d.log, reps)
+		if len(conflicts) > 0 {
+			return d.solveJoint()
+		}
+	}
+
+	allResolved := true
+	for _, rep := range reps {
+		if rep == nil || !rep.Resolved {
+			allResolved = false
+			if rep != nil && rep.Stats.LastStatus != "" {
+				d.stats.LastStatus = rep.Stats.LastStatus
+			}
+			break
+		}
+	}
+	if !allResolved {
+		return d.finish(nil), nil
+	}
+
+	rep := d.finish(merged)
+	if !rep.Resolved {
+		// Every partition verified in isolation but the combined replay
+		// violates a complaint: the partitions interfered outside the
+		// attribute sets the planner reasons about. Solve jointly.
+		d.stats.PartitionFallback = true
+		return d.solveJoint()
+	}
+	return rep, nil
+}
+
+// resolveConflicts unions each group of partitions that fought over a
+// query's parameters and re-solves every union as one joint
+// sub-diagnosis; unconflicted partitions keep their existing repairs.
+func (d *diagnoser) resolveConflicts(parts []partition, reps []*Repair, conflicts [][2]int) ([]partition, []*Repair, error) {
+	uf := newUnionFind(len(parts))
+	for _, pr := range conflicts {
+		uf.union(pr[0], pr[1])
+	}
+	grouped := make(map[int][]int) // root -> member partition indices
+	var order []int
+	for i := range parts {
+		root := uf.find(i)
+		if len(grouped[root]) == 0 {
+			order = append(order, root)
+		}
+		grouped[root] = append(grouped[root], i)
+	}
+
+	var newParts []partition
+	var newReps []*Repair
+	var resolve []int // indices into newParts that need a fresh solve
+	for _, root := range order {
+		members := grouped[root]
+		if len(members) == 1 {
+			newParts = append(newParts, parts[members[0]])
+			newReps = append(newReps, reps[members[0]])
+			continue
+		}
+		var u partition
+		cands := make(query.AttrSet)
+		for _, mi := range members {
+			u.complaintIdx = append(u.complaintIdx, parts[mi].complaintIdx...)
+			cands.Add(parts[mi].candidates...)
+		}
+		sort.Ints(u.complaintIdx)
+		u.candidates = cands.Sorted()
+		resolve = append(resolve, len(newParts))
+		newParts = append(newParts, u)
+		newReps = append(newReps, nil)
+	}
+
+	toSolve := make([]partition, len(resolve))
+	for i, pi := range resolve {
+		toSolve[i] = newParts[pi]
+	}
+	solved, err := d.solvePartitions(toSolve)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, pi := range resolve {
+		newReps[pi] = solved[i]
+	}
+	return newParts, newReps, nil
+}
+
+// applyPartitionParams overlays every partition repair's changed
+// parameters onto a clone of the original log. conflicts lists pairs of
+// repair indices that assigned different values to the same query's
+// parameters (each offending query contributes one pair).
+func applyPartitionParams(orig []query.Query, reps []*Repair) (mergedLog []query.Query, conflicts [][2]int) {
+	merged := query.CloneLog(orig)
+	assigned := make(map[int][]float64)
+	ownerOf := make(map[int]int) // query index -> repair that assigned it
+	for ri, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		for _, qi := range rep.Changed {
+			params := rep.Log[qi].Params()
+			if prev, ok := assigned[qi]; ok {
+				if !sameParams(prev, params) {
+					conflicts = append(conflicts, [2]int{ownerOf[qi], ri})
+				}
+				continue
+			}
+			assigned[qi] = params
+			ownerOf[qi] = ri
+			if err := merged[qi].SetParams(params); err != nil {
+				// Structural mismatch cannot happen between clones of the
+				// same log; route it through the conflict fallback anyway.
+				conflicts = append(conflicts, [2]int{ri, ri})
+			}
+		}
+	}
+	if len(conflicts) > 0 {
+		return nil, conflicts
+	}
+	return merged, nil
+}
+
+// sameParams compares two parameter vectors within solver tolerance.
+func sameParams(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,39 @@
+package core
+
+import "sync"
+
+// schedule fans jobs 0..n-1 out over a pool of at most workers
+// concurrent goroutines. It is the shared scheduler behind both solve
+// scans: the incremental batch scan (parallel.go) and the partition
+// scan (partition.go).
+//
+// Every job gets its own 1-buffered result channel, so the consumer can
+// adjudicate results in submission order while later jobs are still
+// running — the property both scans rely on for determinism: whichever
+// job finishes first, the *choice* among results is made in a fixed
+// order. Jobs that want to short-circuit after a decision (e.g. batches
+// older than an accepted repair) check their own cancellation flag
+// inside job; the scheduler itself never drops a slot.
+//
+// wait blocks until every job has delivered its result.
+func schedule[R any](workers, n int, job func(i int) R) (results []chan R, wait func()) {
+	if workers < 1 {
+		workers = 1
+	}
+	results = make([]chan R, n)
+	for i := range results {
+		results[i] = make(chan R, 1)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] <- job(i)
+		}(i)
+	}
+	return results, wg.Wait
+}

@@ -76,6 +76,24 @@ type Options struct {
 	// (batches are adjudicated newest-first); only wall-clock time and
 	// wasted-work statistics differ. Extension beyond the paper.
 	Parallel int
+	// Partition > 0 enables partition-parallel diagnosis with that many
+	// concurrent partition workers: planning splits the complaint set
+	// into connected components of the complaint–query interaction graph
+	// (two complaints are connected iff their relevant-query candidate
+	// sets, derived from FullImpact, intersect), solves each component as
+	// an independent sub-diagnosis on a shared worker pool, and merges
+	// the per-partition repairs. The merged repair is re-verified against
+	// the full complaint set; on cross-partition interference or
+	// conflicting parameter assignments the engine falls back to a joint
+	// solve. A resolved partitioned diagnosis is therefore always a
+	// replay-verified repair, and it matches the unpartitioned outcome
+	// whenever the joint path can solve the instance at all — but
+	// partitioning can resolve strictly more: each partition reduces to
+	// a single-corruption subproblem, so Incremental with K=1 repairs
+	// multi-cluster corruptions the joint scan cannot. Extension beyond
+	// the paper (its closing "additional methods of scaling the
+	// constraint analysis" direction).
+	Partition int
 
 	// TupleSlicing encodes only complaint tuples (§5.1) and enables the
 	// refinement step unless SkipRefine is set.
@@ -140,6 +158,14 @@ type Stats struct {
 	// RelevantQueries is the candidate set size after query slicing
 	// (len(log) when slicing is off).
 	RelevantQueries int
+	// Partitions is how many independent complaint components the
+	// partition planner found (0 when partitioning is disabled, 1 when
+	// the interaction graph is fully connected and the engine fell
+	// through to the joint path).
+	Partitions int
+	// PartitionFallback tells whether partition merging hit a conflict
+	// or interference and re-solved jointly.
+	PartitionFallback bool
 	// Nodes and LPIters total across solves.
 	Nodes, LPIters int
 	// EncodeTime and SolveTime split the wall clock.

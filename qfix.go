@@ -25,6 +25,19 @@
 //	    fmt.Println(q.String(sch))
 //	}
 //
+// Diagnosis is organized as a plan/solve engine. Planning computes the
+// paper's slicing sets (§5.1–5.3) and, with Options.Partition set,
+// splits the complaint set into independent subproblems: two complaints
+// belong to the same partition iff their relevant-query candidate sets
+// (derived from the full-impact analysis of Definition 7) intersect.
+// Solving runs each partition concurrently on a shared worker pool and
+// merges the per-partition repairs; Options.Parallel likewise scans
+// incremental batches concurrently. Parallel batch scanning picks the
+// exact repair the sequential scan would; partitioned diagnosis always
+// returns a replay-verified repair and can resolve strictly more
+// instances than the joint path (see core.Options for the exact
+// guarantees).
+//
 // The subpackages are exposed for advanced use: internal/encode (the MILP
 // encoder), internal/milp and internal/simplex (the solver stack),
 // internal/workload and internal/oltp (the paper's workload generators),
@@ -67,6 +80,9 @@ type (
 	Options = core.Options
 	// Repair is a log repair Q* with distance and verification info.
 	Repair = core.Repair
+	// Stats reports how a diagnosis went (encoding sizes, solver work,
+	// partition count).
+	Stats = core.Stats
 	// Algorithm selects Basic (Algorithm 1) or Incremental (Algorithm 3).
 	Algorithm = core.Algorithm
 )
