@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bench"
@@ -22,13 +24,14 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure id (fig4, fig6a, fig6b, fig6c, fig7a, fig7b, fig8a..fig8e, fig9, fig10, ex2, ablation, partition) or 'all'")
+		fig     = flag.String("fig", "all", "figure id (fig4, fig6a, fig6b, fig6c, fig7a, fig7b, fig8a..fig8e, fig9, fig10, ex2, ablation, partition, distributed) or 'all'")
 		scale   = flag.String("scale", "default", "experiment scale: quick | default | large")
 		reps    = flag.Int("reps", 0, "repetitions per point (0 = scale default)")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		limit   = flag.Duration("timelimit", 0, "per-solve time limit (0 = scale default)")
 		verbose = flag.Bool("v", false, "progress output")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonDir = flag.String("json", "", "also write each table as BENCH_<id>.json in this directory")
 	)
 	flag.Parse()
 
@@ -47,6 +50,14 @@ func main() {
 	r := &bench.Runner{Scale: sc, Seed: *seed, Reps: *reps, TimeLimit: *limit}
 	if *verbose {
 		r.Out = os.Stderr
+	}
+	if *jsonDir != "" {
+		// Fail fast: experiments can run for hours, so a bad output
+		// directory must not surface only at the first write.
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	var exps []bench.Experiment
@@ -70,6 +81,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(table.String())
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			raw, err := json.MarshalIndent(table, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, raw, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing %s: %v\n", e.ID, path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", path)
+		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))

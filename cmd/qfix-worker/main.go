@@ -1,0 +1,56 @@
+// Command qfix-worker serves partition-diagnosis jobs to a qfix
+// coordinator. Run one per core across a fleet, then point the
+// coordinator at them:
+//
+//	qfix-worker -addr :7433 &
+//	qfix-worker -addr :7434 &
+//	qfix -data D0.csv -log history.sql -complaints bad.txt \
+//	    -workers localhost:7433,localhost:7434
+//
+// Each job is a self-contained partition subproblem (initial state, query
+// log, complaint subset, solver options) framed as newline-delimited JSON
+// over TCP; the worker solves it with the in-process engine and streams
+// the repair back. Jobs from coordinators speaking a different protocol
+// version are rejected with an error result. -max-timelimit caps the
+// solver budget a coordinator may request.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":7433", "TCP address to listen on")
+		maxTL = flag.Duration("max-timelimit", 0, "cap on per-job solver time limits (0 = trust the coordinator)")
+		quiet = flag.Bool("quiet", false, "suppress per-job logging")
+	)
+	flag.Parse()
+
+	srv := &dist.Server{MaxTimeLimit: *maxTL}
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfix-worker:", err)
+		os.Exit(1)
+	}
+	log.Printf("qfix-worker: serving diagnosis jobs on %s (protocol v%d)",
+		l.Addr(), dist.WireVersion)
+	if *maxTL > 0 {
+		log.Printf("qfix-worker: per-job solver budget capped at %v", maxTL.Round(time.Second))
+	}
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "qfix-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -38,8 +38,9 @@ func main() {
 		keyAttr   = flag.String("key", "", "primary key attribute name (optional)")
 		algo      = flag.String("algorithm", "incremental", "basic | incremental")
 		k         = flag.Int("k", 1, "incremental batch size")
-		parallel  = flag.Int("parallel", 1, "concurrent incremental batch workers")
-		partition = flag.Int("partition", 0, "partition-parallel diagnosis workers (0 disables partitioning)")
+		parallel  = flag.String("parallel", "1", "concurrent incremental batch workers (or 'auto' to size from GOMAXPROCS)")
+		partition = flag.String("partition", "0", "partition-parallel diagnosis workers (0 disables partitioning; 'auto' sizes from GOMAXPROCS)")
+		workers   = flag.String("workers", "", "comma-separated qfix-worker addresses (host:port,...) for distributed diagnosis")
 		noTuple   = flag.Bool("no-tuple-slicing", false, "disable tuple slicing")
 		noQuery   = flag.Bool("no-query-slicing", false, "disable query slicing")
 		attrSlice = flag.Bool("attr-slicing", false, "enable attribute slicing")
@@ -64,15 +65,27 @@ func main() {
 	complaints, err := loadComplaints(*compPath, sch.Width())
 	fatalIf(err)
 
+	par, err := parsePool("parallel", *parallel)
+	fatalIf(err)
+	part, err := parsePool("partition", *partition)
+	fatalIf(err)
+
 	opts := qfix.Options{
 		K:                *k,
-		Parallel:         *parallel,
-		Partition:        *partition,
+		Parallel:         par,
+		Partition:        part,
 		TupleSlicing:     !*noTuple,
 		QuerySlicing:     !*noQuery,
 		AttrSlicing:      *attrSlice,
 		SingleCorruption: *single,
 		TimeLimit:        *limit,
+	}
+	if *workers != "" {
+		for _, addr := range strings.Split(*workers, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				opts.Workers = append(opts.Workers, addr)
+			}
+		}
 	}
 	switch *algo {
 	case "basic":
@@ -93,6 +106,10 @@ func main() {
 	if rep.Stats.Partitions > 0 {
 		fmt.Printf("-- partitions: %d (fallback to joint solve: %v)\n",
 			rep.Stats.Partitions, rep.Stats.PartitionFallback)
+	}
+	if len(opts.Workers) > 0 {
+		fmt.Printf("-- remote jobs: %d of %d partitions (rest solved locally)\n",
+			rep.Stats.RemoteJobs, rep.Stats.Partitions)
 	}
 	if len(rep.Changed) == 0 {
 		fmt.Println("-- no queries needed repair")
@@ -117,6 +134,19 @@ func fatalIf(err error) {
 		fmt.Fprintln(os.Stderr, "qfix:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePool parses a worker-pool size flag: an integer, or "auto" for
+// adaptive sizing (Options treats -1 as "size from GOMAXPROCS").
+func parsePool(name, s string) (int, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "auto") {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("-%s: want an integer or 'auto', got %q", name, s)
+	}
+	return n, nil
 }
 
 // loadCSV reads the initial state: header row of attribute names, then

@@ -12,8 +12,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Errorf("expected 16 experiments (every figure + ex2 + ablation + partition), got %d", len(exps))
+	if len(exps) != 17 {
+		t.Errorf("expected 17 experiments (every figure + ex2 + ablation + partition + distributed), got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -182,6 +182,44 @@ func TestPartitionOutcomeMatchesJoint(t *testing.T) {
 		if core.ComplaintsResolved(jf, one, 1e-6) != core.ComplaintsResolved(pf, one, 1e-6) {
 			t.Errorf("complaint %d resolution differs between joint and partitioned", i)
 		}
+	}
+}
+
+func TestDistributedQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := &Runner{Scale: Quick, Seed: 1}
+	table, err := r.FigDistributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (local + dist at one cluster count)", len(table.Rows))
+	}
+	var localRow, distRow *Row
+	for i := range table.Rows {
+		row := &table.Rows[i]
+		if row.Solved < 1 {
+			t.Errorf("%s clusters=%s unsolved (%+v)", row.Series, row.X, row)
+		}
+		switch row.Series {
+		case "local-4":
+			localRow = row
+		case "dist-2":
+			distRow = row
+		}
+	}
+	if localRow == nil || distRow == nil {
+		t.Fatal("missing local-4 or dist-2 series")
+	}
+	// Distribution must not change the repair: identical accuracy.
+	if distRow.F1 != localRow.F1 || distRow.Precision != localRow.Precision {
+		t.Errorf("dist accuracy diverged from local: f1 %v vs %v, precision %v vs %v",
+			distRow.F1, localRow.F1, distRow.Precision, localRow.Precision)
+	}
+	if !strings.Contains(distRow.Note, "remote=") || strings.Contains(distRow.Note, "remote=0/") {
+		t.Errorf("dist-2 did not solve remotely: note=%q", distRow.Note)
 	}
 }
 

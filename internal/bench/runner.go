@@ -122,6 +122,7 @@ func Experiments() []Experiment {
 		{"ex2", "Figure 2 case study: end-to-end repair of the tax example", (*Runner).Example2},
 		{"ablation", "Implementation ablations: folding, param windows, warm LP starts", (*Runner).Ablation},
 		{"partition", "Partition-parallel diagnosis: joint vs partitioned on independent complaint clusters", (*Runner).FigPartition},
+		{"distributed", "Distributed diagnosis: local partitioned vs loopback qfix-worker fleet", (*Runner).FigDistributed},
 	}
 }
 

@@ -89,17 +89,39 @@ type diagnoser struct {
 // plan computes the slicing sets (§5.2–5.3) and the tuple slice (§5.1).
 // Its products stay on the diagnoser: the partition planner reuses the
 // full-impact sets and per-tuple dirty values to build the
-// complaint–query interaction graph without recomputing them.
+// complaint–query interaction graph without recomputing them, and
+// partition subproblems adopt them wholesale (adoptPlan) so only the
+// coordinating diagnosis pays for the FullImpact closure.
 func (d *diagnoser) plan() {
+	d.stats.PlanPasses++
 	d.dirtyVals = make(map[int64][]float64, d.dirtyFinal.Len())
 	d.dirtyFinal.Rows(func(t relation.Tuple) {
 		d.dirtyVals[t.ID] = append([]float64(nil), t.Values...)
 	})
-	d.ac = complaintAttrs(d.complaints, d.dirtyVals, d.width)
-
 	if d.opt.QuerySlicing || d.opt.AttrSlicing || d.opt.Partition > 0 {
 		d.full = FullImpact(d.log, d.width)
 	}
+	d.planSlices()
+}
+
+// adoptPlan initializes a partition sub-diagnoser from its parent's
+// planning products: the replayed dirty state and FullImpact closure are
+// shared read-only, so the sub-diagnosis derives its slices by cheap set
+// arithmetic instead of a planning pass of its own (Stats.PlanPasses
+// stays at the parent's single pass). The derived candidate set is
+// provably the one a fresh plan would compute: Options.Candidates is
+// pinned to the partition's candidates, and relevantQueries over the
+// shared impact sets is deterministic.
+func (sub *diagnoser) adoptPlan(parent *diagnoser) {
+	sub.dirtyVals = parent.dirtyVals
+	sub.full = parent.full
+	sub.planSlices()
+}
+
+// planSlices derives the per-diagnosis slicing sets from the (computed
+// or adopted) dirty values and impact closure.
+func (d *diagnoser) planSlices() {
+	d.ac = complaintAttrs(d.complaints, d.dirtyVals, d.width)
 	if d.opt.QuerySlicing {
 		d.candidates = relevantQueries(d.full, d.ac, d.opt.SingleCorruption)
 	} else {

@@ -136,6 +136,8 @@ func (d *diagnoser) mergeStats(st Stats) {
 	d.stats.LPIters += st.LPIters
 	d.stats.EncodeTime += st.EncodeTime
 	d.stats.SolveTime += st.SolveTime
+	d.stats.PlanPasses += st.PlanPasses
+	d.stats.RemoteJobs += st.RemoteJobs
 	if st.Refined {
 		d.stats.Refined = true
 	}

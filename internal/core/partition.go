@@ -173,11 +173,19 @@ func (d *diagnoser) partitioned() (*Repair, bool, error) {
 // partition's complaints, with repair candidates pinned to the
 // partition's candidate set; inner parallelism is disabled so the
 // concurrency budget is spent at the partition level.
+//
+// With Options.PartitionSolver set, each partition is packaged as a
+// self-contained Subproblem and dispatched through the hook (the
+// distributed coordinator's entry point); otherwise it solves in
+// process, adopting the parent's planning products so no partition
+// re-runs the replay + FullImpact pass.
 func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 	sub := d.opt
 	sub.Partition = 0
 	sub.Parallel = 1
 	sub.TotalTimeLimit = 0 // the outer deadline is enforced per job below
+	sub.PartitionSolver = nil
+	sub.Workers = nil
 
 	type outcome struct {
 		rep *Repair
@@ -198,7 +206,12 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 		for j, ci := range parts[i].complaintIdx {
 			cs[j] = d.complaints[ci]
 		}
-		rep, err := Diagnose(d.d0, d.log, cs, o)
+		if d.opt.PartitionSolver != nil {
+			rep, err := d.opt.PartitionSolver.SolvePartition(
+				Subproblem{D0: d.d0, Log: d.log, Complaints: cs, Options: o})
+			return outcome{rep: rep, err: err}
+		}
+		rep, err := d.solveSub(cs, o)
 		return outcome{rep: rep, err: err}
 	})
 	defer wait()
@@ -220,6 +233,23 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 		return nil, firstErr
 	}
 	return reps, nil
+}
+
+// solveSub runs one partition subproblem in process. Unlike a fresh
+// Diagnose, it adopts the parent's planning products (replayed dirty
+// state, FullImpact closure) and derives its slices from them, so the
+// per-partition cost is pure solving — the ROADMAP's "partition-aware
+// tuple slicing". Stats.PlanPasses across a locally partitioned
+// diagnosis therefore totals exactly 1.
+func (d *diagnoser) solveSub(cs []Complaint, o Options) (*Repair, error) {
+	o = o.withDefaults()
+	sub := &diagnoser{opt: o, d0: d.d0, log: d.log, complaints: cs,
+		width: d.width, dirtyFinal: d.dirtyFinal}
+	sub.adoptPlan(d)
+	if o.TotalTimeLimit > 0 {
+		sub.deadline = time.Now().Add(o.TotalTimeLimit)
+	}
+	return sub.solveJoint()
 }
 
 // mergePartitionRepairs combines the per-partition repairs into one log

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/encode"
@@ -74,7 +75,8 @@ type Options struct {
 	// Parallel > 1 scans incremental batches with that many concurrent
 	// workers. The chosen repair is identical to the sequential scan
 	// (batches are adjudicated newest-first); only wall-clock time and
-	// wasted-work statistics differ. Extension beyond the paper.
+	// wasted-work statistics differ. Parallel = -1 sizes the pool
+	// adaptively from runtime.GOMAXPROCS. Extension beyond the paper.
 	Parallel int
 	// Partition > 0 enables partition-parallel diagnosis with that many
 	// concurrent partition workers: planning splits the complaint set
@@ -90,10 +92,26 @@ type Options struct {
 	// whenever the joint path can solve the instance at all — but
 	// partitioning can resolve strictly more: each partition reduces to
 	// a single-corruption subproblem, so Incremental with K=1 repairs
-	// multi-cluster corruptions the joint scan cannot. Extension beyond
-	// the paper (its closing "additional methods of scaling the
+	// multi-cluster corruptions the joint scan cannot. Partition = -1
+	// sizes the pool adaptively from runtime.GOMAXPROCS. Extension
+	// beyond the paper (its closing "additional methods of scaling the
 	// constraint analysis" direction).
 	Partition int
+
+	// PartitionSolver, when non-nil, dispatches each partition
+	// subproblem instead of the in-process engine — the hook behind
+	// internal/dist's coordinator, which ships subproblems to remote
+	// workers. Implementations must return a repair equivalent to
+	// Subproblem.SolveLocal (the distributed coordinator guarantees this
+	// by falling back to the local engine when a worker fails). Ignored
+	// unless Partition enables partitioning.
+	PartitionSolver PartitionSolver
+	// Workers lists remote diagnosis workers ("host:port"). The core
+	// engine treats this as opaque configuration: the top-level qfix
+	// package turns it into a dist coordinator and installs it as
+	// PartitionSolver. Kept here so Options stays the single
+	// configuration surface.
+	Workers []string
 
 	// TupleSlicing encodes only complaint tuples (§5.1) and enables the
 	// refinement step unless SkipRefine is set.
@@ -146,6 +164,12 @@ func (o Options) withDefaults() Options {
 	if o.TimeLimit <= 0 {
 		o.TimeLimit = 60 * time.Second
 	}
+	if o.Parallel < 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Partition < 0 {
+		o.Partition = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -166,6 +190,15 @@ type Stats struct {
 	// PartitionFallback tells whether partition merging hit a conflict
 	// or interference and re-solved jointly.
 	PartitionFallback bool
+	// PlanPasses counts full planning passes (log replay plus the
+	// FullImpact closure). Partition subproblems solved in-process adopt
+	// the coordinator's plan instead of re-planning, so a partitioned
+	// diagnosis reports 1; remote workers plan once per shipped job.
+	PlanPasses int
+	// RemoteJobs counts partition subproblems solved by a remote worker
+	// (via Options.PartitionSolver / internal/dist). Jobs that fell back
+	// to the local engine are not counted.
+	RemoteJobs int
 	// Nodes and LPIters total across solves.
 	Nodes, LPIters int
 	// EncodeTime and SolveTime split the wall clock.
@@ -190,6 +223,36 @@ type Repair struct {
 	// complaint (verified by execution, not just by the MILP).
 	Resolved bool
 	Stats    Stats
+}
+
+// Subproblem is one partition of a diagnosis, packaged so it can be
+// solved anywhere: the full initial state and log (replay verification
+// needs both), the partition's complaint subset, and sub-Options with
+// the repair candidates pinned to the partition's candidate set and
+// partitioning/parallelism disabled. A Subproblem is self-contained —
+// solving it requires nothing from the coordinating diagnosis.
+type Subproblem struct {
+	D0         *relation.Table
+	Log        []query.Query
+	Complaints []Complaint
+	Options    Options
+}
+
+// SolveLocal runs the subproblem on the in-process engine. It is the
+// reference semantics every PartitionSolver must match, and the fallback
+// path distributed solvers use when a worker fails.
+func (s Subproblem) SolveLocal() (*Repair, error) {
+	return Diagnose(s.D0, s.Log, s.Complaints, s.Options)
+}
+
+// PartitionSolver solves partition subproblems on behalf of the engine.
+// The distributed coordinator in internal/dist implements it by shipping
+// jobs to workers over the wire protocol; tests implement it to inject
+// faults. Implementations are called concurrently (one goroutine per
+// partition, bounded by Options.Partition) and must be safe for
+// concurrent use.
+type PartitionSolver interface {
+	SolvePartition(sub Subproblem) (*Repair, error)
 }
 
 // encOptions builds encoder options shared by all strategies.

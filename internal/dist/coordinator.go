@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// JobTimeout bounds one dispatch attempt (dial + solve + result)
+	// when the job carries no TotalTimeLimit of its own. Zero picks
+	// DefaultJobTimeout.
+	JobTimeout time.Duration
+	// Retries is how many additional workers a failed job is offered
+	// before falling back to the local engine. Negative disables
+	// retries; zero picks one retry per remaining worker, capped at
+	// len(workers)-1.
+	Retries int
+	// Logf, when set, receives one line per dispatch failure/fallback.
+	Logf func(format string, args ...any)
+}
+
+// DefaultJobTimeout bounds a dispatch attempt when neither the job's
+// Options nor the Config say otherwise.
+const DefaultJobTimeout = 5 * time.Minute
+
+// Coordinator distributes partition subproblems over a set of worker
+// transports. It implements core.PartitionSolver: install it via
+// Options.PartitionSolver (or let the top-level qfix package do so from
+// Options.Workers) and the engine's partition scan ships every
+// subproblem through it. Planning, merging, conflict resolution, and
+// replay verification all stay in the engine — the coordinator is purely
+// a dispatch layer with retry and local fallback, so a diagnosis never
+// loses an instance the local engine can solve.
+type Coordinator struct {
+	cfg        Config
+	transports []Transport
+	next       atomic.Uint64 // round-robin cursor
+	nextJobID  atomic.Uint64
+	remoteJobs atomic.Int64
+	localJobs  atomic.Int64
+
+	// Every partition job of one diagnosis carries the identical D0 and
+	// log, so their wire encodings are computed once and shared (the
+	// serialized forms are read-only). Keyed by identity plus cheap
+	// mutation witnesses; Diagnose additionally resets the cache per run.
+	encMu     sync.Mutex
+	encD0     *relation.Table
+	encD0Len  int
+	encNextID int64
+	encTable  wireTable
+	encLogPtr *query.Query
+	encLogLen int
+	encLog    []wireQuery
+}
+
+// NewCoordinator builds a coordinator over the given transports. With no
+// transports every job solves locally (the degenerate case).
+func NewCoordinator(cfg Config, transports ...Transport) *Coordinator {
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = DefaultJobTimeout
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = len(transports) - 1
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	return &Coordinator{cfg: cfg, transports: transports}
+}
+
+// Connect builds a coordinator with one TCP transport per worker
+// address.
+func Connect(cfg Config, workers ...string) *Coordinator {
+	ts := make([]Transport, len(workers))
+	for i, addr := range workers {
+		ts[i] = Dial(addr)
+	}
+	return NewCoordinator(cfg, ts...)
+}
+
+// Close releases every transport.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, t := range c.transports {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RemoteJobs reports how many jobs were solved remotely since creation.
+func (c *Coordinator) RemoteJobs() int { return int(c.remoteJobs.Load()) }
+
+// LocalFallbacks reports how many jobs fell back to the local engine.
+func (c *Coordinator) LocalFallbacks() int { return int(c.localJobs.Load()) }
+
+// transportSlack is how much longer than the job's own solve budget a
+// dispatch may wait on the wire before giving up on the fleet.
+const transportSlack = 10 * time.Second
+
+// SolvePartition implements core.PartitionSolver: encode the subproblem,
+// offer it to workers round-robin with per-attempt timeouts, and fall
+// back to the in-process engine when every attempt fails. Remote repairs
+// are marked with Stats.RemoteJobs=1 so the engine's stats merge counts
+// them.
+//
+// The job's Options.TotalTimeLimit bounds the whole of dispatch plus
+// fallback, exactly as it bounds the in-process path: retries spend the
+// same budget, not a fresh one each, and a fallback that starts with the
+// budget exhausted returns the engine's "total-time-limit" outcome
+// instead of solving on borrowed time.
+func (c *Coordinator) SolvePartition(sub core.Subproblem) (*core.Repair, error) {
+	var deadline time.Time
+	if sub.Options.TotalTimeLimit > 0 {
+		deadline = time.Now().Add(sub.Options.TotalTimeLimit)
+	}
+	if len(c.transports) > 0 {
+		job, err := c.encodeJob(c.nextJobID.Add(1), sub)
+		if err == nil {
+			if rep, ok := c.dispatch(job, deadline); ok {
+				return rep, nil
+			}
+		} else {
+			c.logf("dist: job encode failed, solving locally: %v", err)
+		}
+	}
+	c.localJobs.Add(1)
+	if !deadline.IsZero() {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return &core.Repair{Log: query.CloneLog(sub.Log),
+				Stats: core.Stats{LastStatus: "total-time-limit"}}, nil
+		}
+		sub.Options.TotalTimeLimit = remain
+	}
+	return sub.SolveLocal()
+}
+
+// dispatch tries the job on up to 1+Retries distinct workers within the
+// job's deadline (zero = no budget, each attempt gets JobTimeout).
+// ok=false means every attempt failed and the caller should solve
+// locally.
+func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool) {
+	attempts := 1 + c.cfg.Retries
+	if attempts > len(c.transports) {
+		attempts = len(c.transports)
+	}
+	// Advance the shared round-robin cursor once per job, then walk
+	// consecutive transports, so retries always land on a different
+	// worker than the one that just failed.
+	start := int(c.next.Add(1) - 1)
+	for a := 0; a < attempts; a++ {
+		t := c.transports[(start+a)%len(c.transports)]
+		timeout := c.cfg.JobTimeout
+		if !deadline.IsZero() {
+			// The worker enforces the solve budget itself; the dispatch
+			// only needs to cover what is left of it plus wire slack —
+			// measured against the shared deadline, so consecutive
+			// attempts drain one budget rather than each taking a full
+			// one.
+			timeout = time.Until(deadline) + transportSlack
+			if timeout <= transportSlack/2 {
+				break
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		res, err := t.Do(ctx, job)
+		cancel()
+		if err != nil {
+			c.logf("dist: job %d on %s failed (attempt %d/%d): %v",
+				job.ID, t.Addr(), a+1, attempts, err)
+			continue
+		}
+		rep, err := DecodeResult(res)
+		if err != nil {
+			// Version mismatch or a worker-side solve error. A solve
+			// error would hit the local engine too, but the local
+			// fallback keeps the no-lost-instances guarantee cheap to
+			// state, so take it rather than guessing.
+			c.logf("dist: job %d on %s rejected: %v", job.ID, t.Addr(), err)
+			continue
+		}
+		if !rep.Resolved {
+			// An unresolved remote result is not trusted as final: the
+			// worker may be degraded or capped (-max-timelimit) below
+			// what the instance needs, and accepting it would lose an
+			// instance the local engine can solve. Try elsewhere, then
+			// re-solve locally; a genuinely unsolvable partition costs
+			// one redundant local attempt under the same budget.
+			c.logf("dist: job %d on %s came back unresolved (%s); not trusting it",
+				job.ID, t.Addr(), rep.Stats.LastStatus)
+			continue
+		}
+		rep.Stats.RemoteJobs = 1
+		c.remoteJobs.Add(1)
+		return rep, true
+	}
+	c.logf("dist: job %d exhausted its worker attempts; solving locally", job.ID)
+	return nil, false
+}
+
+// encodeJob builds the wire job, memoizing the D0 and log encodings:
+// every partition of one diagnosis ships the identical initial state and
+// log, so they are serialized once and shared read-only across jobs. The
+// cache keys on identity plus cheap mutation witnesses (length, next ID)
+// and is reset per Diagnose run; callers that install the coordinator
+// directly and mutate a table in place between diagnoses should use a
+// fresh coordinator or Diagnose, which resets the cache.
+func (c *Coordinator) encodeJob(id uint64, sub core.Subproblem) (*Job, error) {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	if c.encD0 != sub.D0 || c.encD0Len != sub.D0.Len() || c.encNextID != sub.D0.NextID() {
+		c.encD0, c.encD0Len, c.encNextID = sub.D0, sub.D0.Len(), sub.D0.NextID()
+		c.encTable = encodeTable(sub.D0)
+	}
+	var logPtr *query.Query
+	if len(sub.Log) > 0 {
+		logPtr = &sub.Log[0]
+	}
+	if c.encLog == nil || c.encLogPtr != logPtr || c.encLogLen != len(sub.Log) {
+		logw, err := encodeLog(sub.Log)
+		if err != nil {
+			return nil, err
+		}
+		c.encLogPtr, c.encLogLen, c.encLog = logPtr, len(sub.Log), logw
+	}
+	return &Job{
+		Version:    WireVersion,
+		ID:         id,
+		D0:         c.encTable,
+		Log:        c.encLog,
+		Complaints: sub.Complaints,
+		Options:    encodeOptions(sub.Options),
+	}, nil
+}
+
+// resetEncCache drops the memoized encodings.
+func (c *Coordinator) resetEncCache() {
+	c.encMu.Lock()
+	c.encD0, c.encTable = nil, wireTable{}
+	c.encLogPtr, c.encLog = nil, nil
+	c.encMu.Unlock()
+}
+
+// Diagnose runs a full distributed diagnosis: planning, merging and
+// verification happen in-process via core.Diagnose, with this
+// coordinator installed as the partition solver. Partition defaults to
+// the worker count when unset so the dispatch pipeline is as wide as the
+// fleet.
+func (c *Coordinator) Diagnose(d0 *relation.Table, log []query.Query,
+	complaints []core.Complaint, opt core.Options) (*core.Repair, error) {
+	if opt.Partition == 0 {
+		opt.Partition = len(c.transports)
+		if opt.Partition == 0 {
+			opt.Partition = 1
+		}
+	}
+	opt.PartitionSolver = c
+	c.resetEncCache()
+	defer c.resetEncCache()
+	return core.Diagnose(d0, log, complaints, opt)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+var _ core.PartitionSolver = (*Coordinator)(nil)

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server is the worker side of the protocol: it accepts connections,
+// reads jobs (newline-delimited JSON), solves each on the local engine,
+// and writes results. A connection may carry any number of jobs in
+// sequence; the coordinator's TCP transport uses one per job.
+type Server struct {
+	// MaxTimeLimit, when positive, caps the per-solve and total time
+	// limits of incoming jobs — a fleet operator's guard against a
+	// coordinator requesting unbounded solves.
+	MaxTimeLimit time.Duration
+	// Logf, when set, receives one line per job and per protocol error.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve accepts and handles connections on l until Close or a fatal
+// listener error. It blocks; run it in a goroutine to serve in the
+// background.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dist: server closed")
+	}
+	s.ln = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting and tears down in-flight connections. Jobs being
+// solved are abandoned; their coordinators observe a broken connection
+// and fall back.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var job Job
+		if err := dec.Decode(&job); err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("dist: %s: bad frame: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		start := time.Now()
+		s.capLimits(&job)
+		res := solveJob(&job)
+		s.logf("dist: job %d from %s: complaints=%d resolved=%v err=%q (%v)",
+			job.ID, conn.RemoteAddr(), len(job.Complaints), res.Resolved, res.Err,
+			time.Since(start).Round(time.Millisecond))
+		if err := enc.Encode(res); err != nil {
+			s.logf("dist: %s: writing result %d: %v", conn.RemoteAddr(), job.ID, err)
+			return
+		}
+	}
+}
+
+// capLimits clamps the job's solver budgets to the server's policy.
+func (s *Server) capLimits(job *Job) {
+	if s.MaxTimeLimit <= 0 {
+		return
+	}
+	max := int64(s.MaxTimeLimit)
+	if job.Options.TimeLimitNS <= 0 || job.Options.TimeLimitNS > max {
+		job.Options.TimeLimitNS = max
+	}
+	if job.Options.TotalTimeLimitNS <= 0 || job.Options.TotalTimeLimitNS > max {
+		job.Options.TotalTimeLimitNS = max
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	return s.Serve(l)
+}

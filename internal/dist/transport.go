@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+)
+
+// Transport delivers one job to a solver and returns its result. A
+// transport error (dial failure, deadline, broken frame) means the
+// worker's answer is unknown; the Coordinator responds by retrying on
+// another worker and, ultimately, solving locally. Implementations must
+// be safe for concurrent use: the engine dispatches partitions from
+// multiple goroutines.
+type Transport interface {
+	Do(ctx context.Context, job *Job) (*Result, error)
+	// Addr names the endpoint for logs and stats.
+	Addr() string
+	Close() error
+}
+
+// InProc is the in-process transport: jobs round-trip through the wire
+// codec (so tests exercise exactly what the network path serializes) and
+// solve on the local engine. It is the degenerate zero-worker case — a
+// coordinator over only InProc transports is semantically identical to
+// local partitioned diagnosis.
+type InProc struct{}
+
+// Do implements Transport.
+func (InProc) Do(ctx context.Context, job *Job) (*Result, error) {
+	// Mirror the network path byte-for-byte: marshal, unmarshal, solve,
+	// and marshal the result back.
+	raw, err := json.Marshal(job)
+	if err != nil {
+		return nil, err
+	}
+	var decoded Job
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		return nil, err
+	}
+	res := solveJob(&decoded)
+	rawRes, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	var out Result
+	if err := json.Unmarshal(rawRes, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Addr implements Transport.
+func (InProc) Addr() string { return "inproc" }
+
+// Close implements Transport.
+func (InProc) Close() error { return nil }
+
+// solveJob is the worker-side job handler shared by the in-process
+// transport and the network server: decode (rejecting version
+// mismatches), solve on the local engine, encode.
+func solveJob(job *Job) *Result {
+	sub, err := DecodeJob(job)
+	if err != nil {
+		return &Result{Version: WireVersion, ID: job.ID, Err: err.Error()}
+	}
+	rep, err := sub.SolveLocal()
+	res, encErr := EncodeResult(job.ID, rep, err)
+	if encErr != nil {
+		return &Result{Version: WireVersion, ID: job.ID, Err: encErr.Error()}
+	}
+	return res
+}
+
+// TCPTransport ships jobs to one worker address, one connection per job,
+// framed as newline-delimited JSON. Per-job deadlines come from the
+// context; a worker that dies mid-solve surfaces as a read error.
+type TCPTransport struct {
+	addr   string
+	dialer net.Dialer
+}
+
+// Dial returns a transport for the worker at addr ("host:port"). No
+// connection is made until the first job.
+func Dial(addr string) *TCPTransport {
+	return &TCPTransport{addr: addr}
+}
+
+// Addr implements Transport.
+func (t *TCPTransport) Addr() string { return t.addr }
+
+// Close implements Transport. Connections are per-job, so there is
+// nothing to tear down.
+func (t *TCPTransport) Close() error { return nil }
+
+// Do implements Transport.
+func (t *TCPTransport) Do(ctx context.Context, job *Job) (*Result, error) {
+	conn, err := t.dialer.DialContext(ctx, "tcp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial %s: %w", t.addr, err)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+	}
+	// Close the connection when the context is canceled so a hung worker
+	// cannot outlive its job budget.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := json.NewEncoder(conn).Encode(job); err != nil {
+		return nil, fmt.Errorf("dist: send job to %s: %w", t.addr, err)
+	}
+	var res Result
+	if err := json.NewDecoder(conn).Decode(&res); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("dist: job %d on %s: %w", job.ID, t.addr, ctxErr)
+		}
+		return nil, fmt.Errorf("dist: read result from %s: %w", t.addr, err)
+	}
+	return &res, nil
+}
+
+var (
+	_ Transport = InProc{}
+	_ Transport = (*TCPTransport)(nil)
+)

@@ -47,8 +47,39 @@ func NewTable(schema *Schema) *Table {
 	return &Table{schema: schema, byID: make(map[int64]int), nextID: 1}
 }
 
+// NewTableFromRows reconstructs a table from explicit rows and ID
+// counter — the deserialization entry point for wire formats that must
+// reproduce a table state exactly, including tuple identities and the
+// IDs future inserts will allocate (replay correctness depends on both).
+// Rows keep their order; values are copied.
+func NewTableFromRows(schema *Schema, rows []Tuple, nextID int64) (*Table, error) {
+	tb := NewTable(schema)
+	for _, t := range rows {
+		if len(t.Values) != schema.Width() {
+			return nil, fmt.Errorf("relation: row %d arity %d != schema width %d",
+				t.ID, len(t.Values), schema.Width())
+		}
+		if _, dup := tb.byID[t.ID]; dup {
+			return nil, fmt.Errorf("relation: duplicate tuple id %d", t.ID)
+		}
+		tb.byID[t.ID] = len(tb.rows)
+		tb.rows = append(tb.rows, t.Clone())
+		if t.ID >= tb.nextID {
+			tb.nextID = t.ID + 1
+		}
+	}
+	if nextID >= tb.nextID {
+		tb.nextID = nextID
+	}
+	return tb, nil
+}
+
 // Schema returns the table's schema.
 func (tb *Table) Schema() *Schema { return tb.schema }
+
+// NextID returns the ID the next insert will be assigned. Serializers
+// carry it so a reconstructed table allocates identical IDs on replay.
+func (tb *Table) NextID() int64 { return tb.nextID }
 
 // Len returns the number of live tuples.
 func (tb *Table) Len() int { return len(tb.rows) }

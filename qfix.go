@@ -38,8 +38,17 @@
 // instances than the joint path (see core.Options for the exact
 // guarantees).
 //
+// Diagnosis also scales past one process: Options.Workers lists remote
+// workers (cmd/qfix-worker) and the internal/dist coordinator ships each
+// partition subproblem to the fleet over a versioned wire protocol,
+// falling back to the local engine per job when a worker fails — a
+// distributed diagnosis never loses an instance the local engine can
+// solve, and its merged repair goes through the same replay
+// verification.
+//
 // The subpackages are exposed for advanced use: internal/encode (the MILP
 // encoder), internal/milp and internal/simplex (the solver stack),
+// internal/dist (the coordinator/worker distribution layer),
 // internal/workload and internal/oltp (the paper's workload generators),
 // internal/dectree (the Appendix A baseline), and internal/bench (the
 // figure-by-figure reproduction harness driven by cmd/qfix-bench).
@@ -47,6 +56,7 @@ package qfix
 
 import (
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/sqlparse"
@@ -129,7 +139,19 @@ func ComplaintsFromDiff(dirty, truth *Table, eps float64) []Complaint {
 // Diagnose analyzes the log and complaints and returns a log repair
 // (paper Definition 5). See core.Options for the algorithm and
 // optimization switches.
+//
+// With Options.Workers set (and no explicit Options.PartitionSolver), a
+// distributed coordinator over those workers is installed for the run:
+// planning, merging and replay verification stay local while each
+// partition subproblem ships to a worker, falling back to the local
+// engine per job if a worker dies or times out. Run workers with
+// cmd/qfix-worker.
 func Diagnose(d0 *Table, log []Query, complaints []Complaint, opt Options) (*Repair, error) {
+	if len(opt.Workers) > 0 && opt.PartitionSolver == nil {
+		coord := dist.Connect(dist.Config{}, opt.Workers...)
+		defer coord.Close()
+		return coord.Diagnose(d0, log, complaints, opt)
+	}
 	return core.Diagnose(d0, log, complaints, opt)
 }
 
