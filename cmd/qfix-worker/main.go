@@ -12,7 +12,10 @@
 // over TCP; the worker solves it with the in-process engine and streams
 // the repair back. Jobs from coordinators speaking a different protocol
 // version are rejected with an error result. -max-timelimit caps the
-// solver budget a coordinator may request.
+// solver budget a coordinator may request. Repeat jobs carrying the
+// digests of an already-decoded D0/log reuse the worker's decode cache
+// and impact closure instead of re-decoding and re-planning (-cache
+// sizes the cache; 0 disables it).
 package main
 
 import (
@@ -30,11 +33,17 @@ func main() {
 	var (
 		addr  = flag.String("addr", ":7433", "TCP address to listen on")
 		maxTL = flag.Duration("max-timelimit", 0, "cap on per-job solver time limits (0 = trust the coordinator)")
+		cache = flag.Int("cache", dist.DefaultWorkerCacheEntries,
+			"decode-cache entries: repeat jobs with the same D0/log skip decode and re-planning (0 disables)")
 		quiet = flag.Bool("quiet", false, "suppress per-job logging")
 	)
 	flag.Parse()
 
-	srv := &dist.Server{MaxTimeLimit: *maxTL}
+	cacheSize := *cache
+	if cacheSize <= 0 {
+		cacheSize = -1 // Server treats negative as disabled, 0 as default
+	}
+	srv := &dist.Server{MaxTimeLimit: *maxTL, CacheSize: cacheSize}
 	if !*quiet {
 		srv.Logf = log.Printf
 	}

@@ -15,6 +15,11 @@
 // Example:
 //
 //	qfix -data taxes.csv -log history.sql -complaints bad.txt -table Taxes
+//
+// Alternatively, -hist points at a histstore directory (meta.txt +
+// snapshot.csv + log.sql, as written by internal/histstore): the
+// checkpoint state and log are loaded from the store, and repeat
+// diagnoses (-repeat) reuse the store's impact cache.
 package main
 
 import (
@@ -27,12 +32,15 @@ import (
 	"time"
 
 	qfix "repro"
+	"repro/internal/histstore"
 )
 
 func main() {
 	var (
 		dataPath  = flag.String("data", "", "CSV file with header row: the initial state D0")
 		logPath   = flag.String("log", "", "SQL file with the query history")
+		histPath  = flag.String("hist", "", "history-store directory (alternative to -data/-log)")
+		repeat    = flag.Int("repeat", 1, "run the diagnosis this many times; repeats share an impact cache")
 		compPath  = flag.String("complaints", "", "complaint file (id,v1,v2,... or id,DELETED)")
 		tableName = flag.String("table", "t", "table name used in the SQL statements")
 		keyAttr   = flag.String("key", "", "primary key attribute name (optional)")
@@ -48,19 +56,40 @@ func main() {
 		limit     = flag.Duration("timelimit", 60*time.Second, "per-solve time limit")
 	)
 	flag.Parse()
-	if *dataPath == "" || *logPath == "" || *compPath == "" {
+	if *histPath != "" && (*dataPath != "" || *logPath != "") {
+		fmt.Fprintln(os.Stderr, "qfix: -hist and -data/-log are mutually exclusive")
+		os.Exit(2)
+	}
+	if *compPath == "" || (*histPath == "" && (*dataPath == "" || *logPath == "")) {
 		fmt.Fprintln(os.Stderr, "usage: qfix -data D0.csv -log history.sql -complaints bad.txt [flags]")
+		fmt.Fprintln(os.Stderr, "       qfix -hist storedir -complaints bad.txt [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	sch, d0, err := loadCSV(*dataPath, *tableName, *keyAttr)
-	fatalIf(err)
-
-	sqlBytes, err := os.ReadFile(*logPath)
-	fatalIf(err)
-	history, err := qfix.ParseLog(sch, string(sqlBytes))
-	fatalIf(err)
+	var (
+		sch     *qfix.Schema
+		d0      *qfix.Table
+		history []qfix.Query
+		store   *histstore.Store
+		err     error
+	)
+	if *histPath != "" {
+		store, err = histstore.Open(*histPath)
+		fatalIf(err)
+		defer store.Close()
+		// The store diagnoses from its own state; only the schema is
+		// needed up front (complaint parsing, output rendering).
+		sch = store.Schema()
+	} else {
+		sch, d0, err = loadCSV(*dataPath, *tableName, *keyAttr)
+		fatalIf(err)
+		var sqlBytes []byte
+		sqlBytes, err = os.ReadFile(*logPath)
+		fatalIf(err)
+		history, err = qfix.ParseLog(sch, string(sqlBytes))
+		fatalIf(err)
+	}
 
 	complaints, err := loadComplaints(*compPath, sch.Width())
 	fatalIf(err)
@@ -96,20 +125,43 @@ func main() {
 		fatalIf(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 
-	start := time.Now()
-	rep, err := qfix.Diagnose(d0, history, complaints, opts)
-	fatalIf(err)
-	elapsed := time.Since(start)
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	if store == nil && *repeat > 1 {
+		// The store brings its own cache; standalone repeats share one.
+		opts.ImpactCache = qfix.NewImpactCache(0)
+	}
+	var rep *qfix.Repair
+	var elapsed time.Duration
+	for run := 1; run <= *repeat; run++ {
+		start := time.Now()
+		if store != nil {
+			rep, err = store.Diagnose(complaints, opts)
+		} else {
+			rep, err = qfix.Diagnose(d0, history, complaints, opts)
+		}
+		fatalIf(err)
+		elapsed = time.Since(start)
+		if *repeat > 1 {
+			fmt.Printf("-- run %d/%d: %v (impact cache hits: %d)\n",
+				run, *repeat, elapsed.Round(time.Millisecond), rep.Stats.ImpactCacheHits)
+		}
+	}
 
 	fmt.Printf("-- diagnosis completed in %v\n", elapsed.Round(time.Millisecond))
+	if rep.Stats.ImpactCacheHits > 0 {
+		fmt.Printf("-- impact cache: %d hits (%d incremental extends)\n",
+			rep.Stats.ImpactCacheHits, rep.Stats.ImpactCacheExtends)
+	}
 	fmt.Printf("-- complaints resolved: %v; repair distance: %.3f\n", rep.Resolved, rep.Distance)
 	if rep.Stats.Partitions > 0 {
 		fmt.Printf("-- partitions: %d (fallback to joint solve: %v)\n",
 			rep.Stats.Partitions, rep.Stats.PartitionFallback)
 	}
 	if len(opts.Workers) > 0 {
-		fmt.Printf("-- remote jobs: %d of %d partitions (rest solved locally)\n",
-			rep.Stats.RemoteJobs, rep.Stats.Partitions)
+		fmt.Printf("-- remote jobs: %d of %d partitions (rest solved locally; worker cache hits: %d)\n",
+			rep.Stats.RemoteJobs, rep.Stats.Partitions, rep.Stats.WorkerCacheHits)
 	}
 	if len(rep.Changed) == 0 {
 		fmt.Println("-- no queries needed repair")

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// FigImpactCache measures the impact-cache subsystem: the cost of
+// repeat diagnoses over the same or a growing log, locally and on a
+// loopback worker fleet. This is no paper figure — it quantifies the
+// ROADMAP's "cache FullImpact across diagnoses" item.
+//
+// Local series (x = log size):
+//
+//	cold      every diagnosis recomputes the O(n²) FullImpact closure
+//	cached    second diagnosis of the same log (exact digest hit)
+//	extended  diagnosis after appending Δ queries to an already
+//	          diagnosed log (incremental ExtendFullImpact)
+//
+// Distributed series (8-cluster partition workload, 2 loopback
+// workers):
+//
+//	dist-cold    first diagnosis on a fresh fleet (later partitions of
+//	             the run already reuse the first jobs' decodes)
+//	dist-cached  repeat diagnosis against the same fleet: every job
+//	             hits the workers' decode + impact caches
+//
+// The repairs must be identical across all series of a size — the cache
+// is a latency optimization, never a semantics change; the dist e2e test
+// asserts the byte-level identity, this table shows the latency.
+func (r *Runner) FigImpactCache() (*Table, error) {
+	var sizes []int
+	switch r.Scale {
+	case Quick:
+		sizes = []int{40}
+	case Large:
+		sizes = []int{160, 320, 640}
+	default:
+		sizes = []int{80, 160}
+	}
+	const extendBy = 4 // Δ appended queries for the extended series
+
+	t := &Table{ID: "impactcache", Title: "impact cache: repeat-diagnosis latency, cold vs cached",
+		XLabel: "queries",
+		Caption: fmt.Sprintf("UPDATE-only workload, one recent corruption; cached = 2nd diagnosis of the same log, "+
+			"extended = diagnosis after %d appended queries; dist series: 8 clusters on 2 loopback qfix-workers", extendBy)}
+
+	opts := core.Options{Algorithm: core.Incremental, TupleSlicing: true, QuerySlicing: true}
+	for _, nq := range sizes {
+		var cold, cachedPts, extended []point
+		for rep := 0; rep < r.reps(); rep++ {
+			w, err := workload.Generate(workload.Config{
+				ND: 60, Na: 6, Nq: nq, Mix: workload.UpdateOnly,
+				Seed: r.Seed + int64(rep)*101 + int64(nq)})
+			if err != nil {
+				return nil, err
+			}
+			in, err := w.MakeInstance(nq - extendBy - 2)
+			if err != nil {
+				return nil, err
+			}
+
+			cold = append(cold, r.measure(in, in.Complaints, opts))
+
+			oc := opts
+			oc.ImpactCache = core.NewImpactCache(0)
+			r.measure(in, in.Complaints, oc) // warm: pays the closure once
+			cachedPts = append(cachedPts, r.measure(in, in.Complaints, oc))
+
+			oe := opts
+			oe.ImpactCache = core.NewImpactCache(0)
+			if err := r.warmPrefix(in, nq-extendBy, oe); err != nil {
+				return nil, err
+			}
+			extended = append(extended, r.measure(in, in.Complaints, oe))
+		}
+		for _, s := range []struct {
+			name string
+			pts  []point
+		}{{"cold", cold}, {"cached", cachedPts}, {"extended", extended}} {
+			ms, acc, ok := avg(s.pts)
+			t.Rows = append(t.Rows, Row{Series: s.name, X: fmt.Sprint(nq),
+				TimeMS: ms, Precision: acc.Precision, Recall: acc.Recall, F1: acc.F1, Solved: ok,
+				Note: impactNote(s.pts)})
+			r.logf("impactcache %s queries=%d: %.1fms solved=%.2f %s", s.name, nq, ms, ok, impactNote(s.pts))
+		}
+	}
+
+	if err := r.impactCacheDistributed(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// warmPrefix runs an (unmeasured) diagnosis over the instance's first n
+// queries, so opts.ImpactCache holds the closure of the log as it stood
+// before the final appends — the growing-log scenario histstore serves.
+func (r *Runner) warmPrefix(in *workload.Instance, n int, opts core.Options) error {
+	dirty, err := query.Replay(in.Dirty[:n], in.W.D0)
+	if err != nil {
+		return err
+	}
+	truth, err := query.Replay(in.W.Log[:n], in.W.D0)
+	if err != nil {
+		return err
+	}
+	complaints := core.ComplaintsFromDiff(dirty, truth, 1e-9)
+	opts.TimeLimit = r.timeLimit()
+	opts.TotalTimeLimit = 4 * r.timeLimit()
+	_, err = core.Diagnose(in.W.D0, in.Dirty[:n], complaints, opts)
+	return err
+}
+
+// impactCacheDistributed appends the loopback-fleet series: the same
+// partition workload diagnosed twice against one 2-worker fleet, so the
+// repeat run's jobs all hit the workers' decode and impact caches.
+func (r *Runner) impactCacheDistributed(t *Table) error {
+	clusters, rowsPer, queriesPer := 8, 5, 2
+	if r.Scale == Large {
+		clusters, queriesPer = 16, 3
+	}
+	opts := core.Options{Algorithm: core.Basic, TupleSlicing: true, QuerySlicing: true, Partition: 4}
+	var coldPts, cachedPts []point
+	for rep := 0; rep < r.reps(); rep++ {
+		workers, stop, err := startLoopbackWorkers(2)
+		if err != nil {
+			return err
+		}
+		w, corruptIdx, err := PartitionClusters(clusters, rowsPer, queriesPer,
+			r.Seed+int64(rep)*353)
+		if err != nil {
+			stop()
+			return err
+		}
+		in, err := w.MakeInstance(corruptIdx...)
+		if err != nil {
+			stop()
+			return err
+		}
+		coord := dist.Connect(dist.Config{}, workers...)
+		o := opts
+		o.PartitionSolver = coord
+		coldPts = append(coldPts, r.measure(in, in.Complaints, o))
+		cachedPts = append(cachedPts, r.measure(in, in.Complaints, o))
+		coord.Close()
+		stop()
+	}
+	x := fmt.Sprint(clusters * queriesPer)
+	for _, s := range []struct {
+		name string
+		pts  []point
+	}{{"dist-cold", coldPts}, {"dist-cached", cachedPts}} {
+		ms, acc, ok := avg(s.pts)
+		t.Rows = append(t.Rows, Row{Series: s.name, X: x,
+			TimeMS: ms, Precision: acc.Precision, Recall: acc.Recall, F1: acc.F1, Solved: ok,
+			Note: impactNote(s.pts)})
+		r.logf("impactcache %s: %.1fms solved=%.2f %s", s.name, ms, ok, impactNote(s.pts))
+	}
+	return nil
+}
+
+// impactNote summarizes cache activity across repetitions.
+func (r point) impactHits() (int, int, int) {
+	return r.stats.ImpactCacheHits, r.stats.ImpactCacheExtends, r.stats.WorkerCacheHits
+}
+
+func impactNote(pts []point) string {
+	hits, extends, worker := 0, 0, 0
+	for _, p := range pts {
+		h, e, wk := p.impactHits()
+		hits, extends, worker = hits+h, extends+e, worker+wk
+	}
+	if hits == 0 && worker == 0 {
+		return ""
+	}
+	return fmt.Sprintf("impact hits=%d extends=%d worker hits=%d", hits, extends, worker)
+}

@@ -123,6 +123,7 @@ func Experiments() []Experiment {
 		{"ablation", "Implementation ablations: folding, param windows, warm LP starts", (*Runner).Ablation},
 		{"partition", "Partition-parallel diagnosis: joint vs partitioned on independent complaint clusters", (*Runner).FigPartition},
 		{"distributed", "Distributed diagnosis: local partitioned vs loopback qfix-worker fleet", (*Runner).FigDistributed},
+		{"impactcache", "Impact cache: repeat-diagnosis latency, cold vs cached vs incrementally extended", (*Runner).FigImpactCache},
 	}
 }
 

@@ -99,7 +99,13 @@ func (d *diagnoser) plan() {
 		d.dirtyVals[t.ID] = append([]float64(nil), t.Values...)
 	})
 	if d.opt.QuerySlicing || d.opt.AttrSlicing || d.opt.Partition > 0 {
-		d.full = FullImpact(d.log, d.width)
+		t0 := time.Now()
+		if d.opt.ImpactCache != nil {
+			d.full = d.opt.ImpactCache.fullImpact(d.log, d.d0.Schema(), d.width, d.opt.LogDigest, &d.stats)
+		} else {
+			d.full = FullImpact(d.log, d.width)
+		}
+		d.stats.ImpactTime += time.Since(t0)
 	}
 	d.planSlices()
 }

@@ -17,15 +17,103 @@ func FullImpact(log []query.Query, width int) []query.AttrSet {
 		deps[i] = query.Dependency(q)
 	}
 	for i := n - 1; i >= 0; i-- {
-		f := query.DirectImpact(log[i], width)
-		for j := i + 1; j < n; j++ {
-			if f.Intersects(deps[j]) {
-				f.Union(full[j])
-			}
-		}
-		full[i] = f
+		full[i] = closureScan(log[i], deps, full, i, n, width)
 	}
 	return full
+}
+
+// ExtendFullImpact updates the FullImpact closure of a log prefix to
+// cover an extended log: prev is FullImpact(log[:len(prev)], width) and
+// the result equals FullImpact(log, width) element for element.
+//
+// The closure is log-structural and complaint-independent, so repeated
+// diagnoses of a growing log can reuse the prefix instead of paying the
+// O(n²) recompute (the ROADMAP's impact-cache item). New suffix entries
+// are computed fresh — their backward scans only consult later entries,
+// all of which are new. A prefix entry i is recomputed only when its old
+// impact reaches the dependency set of a *dirty* later query (a new
+// query, or a prefix query whose own closure changed): until the scan
+// for i touches a dirty entry it replays the original scan exactly, and
+// since the scan's working set only ever grows toward prev[i], an old
+// closure disjoint from every dirty dependency set can never diverge.
+// Kept entries alias prev's sets; callers must treat both as read-only.
+//
+// Malformed input (prev longer than the log) falls back to the full
+// recompute rather than guessing.
+//
+// Cost is proportional to what actually changed: dependency sets
+// materialize lazily and the staleness scan walks the list of dirty
+// entries rather than the whole log, so appending one statement that
+// nothing upstream feeds into costs O(n) set-intersection checks — not
+// a rebuild of all n dependency sets or an O(n²) scan.
+func ExtendFullImpact(prev []query.AttrSet, log []query.Query, width int) []query.AttrSet {
+	prevN := len(prev)
+	n := len(log)
+	if prevN == 0 || prevN > n {
+		return FullImpact(log, width)
+	}
+	deps := make([]query.AttrSet, n)
+	depOf := func(j int) query.AttrSet {
+		if deps[j] == nil { // Dependency always returns a non-nil set
+			deps[j] = query.Dependency(log[j])
+		}
+		return deps[j]
+	}
+	// fillDeps materializes the range a closure scan consults.
+	fillDeps := func(from int) {
+		for j := from; j < n; j++ {
+			depOf(j)
+		}
+	}
+	full := make([]query.AttrSet, n)
+	// dirtyIdx lists entries whose closure is new or changed. Entries
+	// are appended while processing descending i, so while handling
+	// entry i every listed index exceeds i.
+	var dirtyIdx []int
+	for i := n - 1; i >= prevN; i-- {
+		fillDeps(i + 1)
+		full[i] = closureScan(log[i], deps, full, i, n, width)
+		dirtyIdx = append(dirtyIdx, i)
+	}
+	for i := prevN - 1; i >= 0; i-- {
+		stale := false
+		for _, j := range dirtyIdx {
+			if prev[i].Intersects(depOf(j)) {
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			full[i] = prev[i]
+			continue
+		}
+		fillDeps(i + 1)
+		full[i] = closureScan(log[i], deps, full, i, n, width)
+		if !attrSetsEqual(full[i], prev[i]) {
+			dirtyIdx = append(dirtyIdx, i)
+		}
+	}
+	return full
+}
+
+// closureScan is one backward-pass step of Algorithm 2: the transitive
+// impact of log[i] through the (already final) closures of later queries.
+func closureScan(q query.Query, deps, full []query.AttrSet, i, n, width int) query.AttrSet {
+	f := query.DirectImpact(q, width)
+	for j := i + 1; j < n; j++ {
+		if f.Intersects(deps[j]) {
+			f.Union(full[j])
+		}
+	}
+	return f
+}
+
+// attrSetsEqual reports set equality.
+func attrSetsEqual(a, b query.AttrSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return a.ContainsAll(b)
 }
 
 // complaintAttrs computes A(C) (Definition 6) against the dirty final

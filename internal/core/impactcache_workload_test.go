@@ -1,0 +1,180 @@
+// External test: the impact cache against the paper's workload
+// generator (an import cycle keeps workload out of the in-package
+// tests). This is the acceptance property for the cache subsystem: over
+// randomized generator logs and append points, the cached/extended
+// closure is identical to a fresh FullImpact, and a cached diagnosis
+// returns the exact repair an uncached one does.
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func TestExtendFullImpactMatchesFreshOnGeneratorLogs(t *testing.T) {
+	mixes := []workload.QueryMix{workload.UpdateOnly, workload.InsertOnly,
+		workload.DeleteOnly, workload.Mixed}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		mix := mixes[trial%len(mixes)]
+		nq := rng.Intn(50) + 10
+		w, err := workload.Generate(workload.Config{
+			ND: 30, Na: rng.Intn(6) + 2, Nq: nq, Mix: mix, Seed: int64(trial) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		width := w.Schema.Width()
+		want := core.FullImpact(w.Log, width)
+		for _, prevN := range []int{rng.Intn(nq), nq - 1, nq} {
+			prev := core.FullImpact(w.Log[:prevN], width)
+			got := core.ExtendFullImpact(prev, w.Log, width)
+			for i := range want {
+				if !got[i].ContainsAll(want[i]) || !want[i].ContainsAll(got[i]) {
+					t.Fatalf("trial %d mix %d prevN %d: F(q%d) = %v, want %v",
+						trial, mix, prevN, i, got[i].Sorted(), want[i].Sorted())
+				}
+			}
+		}
+	}
+}
+
+// A cached diagnosis must return the exact repair of an uncached one —
+// same repaired SQL, same distance, same verdict — while reporting the
+// cache activity in Stats.
+func TestCachedDiagnosisMatchesUncached(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2 // solver-bound; keep the race-short pass fast
+	}
+	opts := core.Options{Algorithm: core.Incremental, TupleSlicing: true,
+		QuerySlicing: true, TimeLimit: 30 * time.Second}
+	done := 0
+	for trial := 0; trial < 30 && done < trials; trial++ {
+		w, err := workload.Generate(workload.Config{
+			ND: 25, Na: 4, Nq: 20, Mix: workload.UpdateOnly, Seed: int64(trial) + 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := w.MakeInstance(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in.Complaints) == 0 {
+			continue // no-op corruption: the diagnosis never plans
+		}
+		done++
+		want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cached := opts
+		cached.ImpactCache = core.NewImpactCache(0)
+		first, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Stats.ImpactCacheHits != 0 {
+			t.Errorf("trial %d: first run reported %d hits", trial, first.Stats.ImpactCacheHits)
+		}
+		if second.Stats.ImpactCacheHits != 1 || second.Stats.ImpactCacheExtends != 0 {
+			t.Errorf("trial %d: second run stats = hits %d extends %d, want exact hit",
+				trial, second.Stats.ImpactCacheHits, second.Stats.ImpactCacheExtends)
+		}
+		wf := diagFingerprint(in, want)
+		for name, rep := range map[string]*core.Repair{"first": first, "second": second} {
+			if got := diagFingerprint(in, rep); got != wf {
+				t.Errorf("trial %d: %s cached repair differs from uncached:\n got %s\nwant %s",
+					trial, name, got, wf)
+			}
+		}
+	}
+	if done == 0 {
+		t.Fatal("setup: no seed produced a complaint-carrying instance")
+	}
+}
+
+func diagFingerprint(in *workload.Instance, rep *core.Repair) string {
+	var b strings.Builder
+	sch := in.W.Schema
+	for _, q := range rep.Log {
+		b.WriteString(q.String(sch))
+		b.WriteString(";")
+	}
+	fmt.Fprintf(&b, " changed=%v distance=%.9f resolved=%v", rep.Changed, rep.Distance, rep.Resolved)
+	return b.String()
+}
+
+// The growing-log path end to end: diagnose a prefix, append, diagnose
+// the full log. The second diagnosis must extend the cached closure
+// (not recompute) and still produce the uncached repair.
+func TestCachedDiagnosisAfterAppendExtends(t *testing.T) {
+	opts := core.Options{Algorithm: core.Incremental, TupleSlicing: true,
+		QuerySlicing: true, TimeLimit: 30 * time.Second}
+	const cut = 17
+	// Scan seeds for an instance whose corruption (inside the prefix)
+	// raises complaints both at the cut and over the full log.
+	var in *workload.Instance
+	var prefixComplaints []core.Complaint
+	for seed := int64(1); seed < 40 && in == nil; seed++ {
+		w, err := workload.Generate(workload.Config{
+			ND: 25, Na: 4, Nq: 20, Mix: workload.UpdateOnly, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cand, err := w.MakeInstance(13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cand.Complaints) == 0 {
+			continue
+		}
+		prefixDirty, err := query.Replay(cand.Dirty[:cut], cand.W.D0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefixTruth, err := query.Replay(cand.W.Log[:cut], cand.W.D0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs := core.ComplaintsFromDiff(prefixDirty, prefixTruth, 1e-9); len(cs) > 0 {
+			in, prefixComplaints = cand, cs
+		}
+	}
+	if in == nil {
+		t.Fatal("setup: no seed yields complaints at both the cut and the full log")
+	}
+
+	want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cached := opts
+	cached.ImpactCache = core.NewImpactCache(0)
+	if _, err := core.Diagnose(in.W.D0, in.Dirty[:cut], prefixComplaints, cached); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Stats.ImpactCacheHits != 1 || grown.Stats.ImpactCacheExtends != 1 {
+		t.Errorf("grown-log stats = hits %d extends %d, want one prefix extension",
+			grown.Stats.ImpactCacheHits, grown.Stats.ImpactCacheExtends)
+	}
+	if got, wf := diagFingerprint(in, grown), diagFingerprint(in, want); got != wf {
+		t.Errorf("extended-closure repair differs from uncached:\n got %s\nwant %s", got, wf)
+	}
+}

@@ -138,6 +138,10 @@ func (d *diagnoser) mergeStats(st Stats) {
 	d.stats.SolveTime += st.SolveTime
 	d.stats.PlanPasses += st.PlanPasses
 	d.stats.RemoteJobs += st.RemoteJobs
+	d.stats.ImpactCacheHits += st.ImpactCacheHits
+	d.stats.ImpactCacheExtends += st.ImpactCacheExtends
+	d.stats.WorkerCacheHits += st.WorkerCacheHits
+	d.stats.ImpactTime += st.ImpactTime
 	if st.Refined {
 		d.stats.Refined = true
 	}

@@ -113,6 +113,22 @@ type Options struct {
 	// configuration surface.
 	Workers []string
 
+	// ImpactCache, when non-nil, caches FullImpact closures across
+	// diagnoses keyed by a digest of the log (impactcache.go). Repeat
+	// diagnoses of the same log reuse the closure outright; diagnoses of
+	// a grown log extend the cached prefix incrementally
+	// (ExtendFullImpact). The cache is process-local and never
+	// serialized: histstore.Store installs one per store, and dist
+	// workers keep one per process so repeat jobs skip re-planning.
+	ImpactCache *ImpactCache
+	// LogDigest, when nonzero, is the caller-maintained rolling digest
+	// of the log (DigestSeed folded through DigestStep — what
+	// histstore.Store keeps alongside its log). It lets the impact
+	// cache take its exact-hit path without re-rendering the whole
+	// log's SQL. It MUST describe exactly the log passed to Diagnose;
+	// ignored without ImpactCache.
+	LogDigest uint64
+
 	// TupleSlicing encodes only complaint tuples (§5.1) and enables the
 	// refinement step unless SkipRefine is set.
 	TupleSlicing bool
@@ -199,6 +215,24 @@ type Stats struct {
 	// (via Options.PartitionSolver / internal/dist). Jobs that fell back
 	// to the local engine are not counted.
 	RemoteJobs int
+	// ImpactCacheHits counts planning passes that reused a cached
+	// FullImpact closure (Options.ImpactCache) instead of computing one
+	// from scratch — exact-digest reuse and prefix extension both
+	// count. On the distributed path this aggregates worker-side hits
+	// too (each worker diagnosis plans with the worker's process
+	// cache), so a cold client run against a warm fleet reports them —
+	// distinct from WorkerCacheHits, which counts decode reuse.
+	ImpactCacheHits int
+	// ImpactCacheExtends counts the subset of hits that found a proper
+	// prefix and ran the incremental ExtendFullImpact update.
+	ImpactCacheExtends int
+	// WorkerCacheHits counts remote jobs whose worker reused its cached
+	// decode of the job's D0 and log (same-digest repeat jobs within or
+	// across runs) instead of re-decoding and re-planning.
+	WorkerCacheHits int
+	// ImpactTime is the wall clock spent obtaining the FullImpact
+	// closure (cached, extended, or computed), part of planning.
+	ImpactTime time.Duration
 	// Nodes and LPIters total across solves.
 	Nodes, LPIters int
 	// EncodeTime and SolveTime split the wall clock.

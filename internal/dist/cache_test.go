@@ -1,0 +1,138 @@
+package dist_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// startWorkerWithCache serves diagnosis jobs with an explicit decode
+// cache size (negative disables caching).
+func startWorkerWithCache(t *testing.T, size int) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &dist.Server{CacheSize: size, Logf: t.Logf}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+// Regression (coordinator budget drain): with a TotalTimeLimit set, a
+// dispatch attempt used to wait out the *entire* remaining budget on a
+// hung worker, so the promised retry on a distinct worker never ran and
+// the local fallback started broke. Each attempt must now be capped at
+// min(JobTimeout, remaining budget + slack): with one hung and one
+// healthy worker, every job reaches the healthy worker after at most
+// one JobTimeout, well inside the budget.
+func TestDispatchBudgetCappedOnHungWorker(t *testing.T) {
+	d0, log, complaints := benchInstance(t, 2)
+	want := localReference(t, d0, log, complaints)
+
+	// JobTimeout is generous against race-detector-slowed solves yet a
+	// tiny fraction of the budget the old code would wait per attempt.
+	coord := dist.Connect(dist.Config{JobTimeout: 10 * time.Second, Retries: 1, Logf: t.Logf},
+		startBlackHoleWorker(t), startWorker(t))
+	defer coord.Close()
+
+	opts := partitionOpts()
+	opts.TotalTimeLimit = 5 * time.Minute // the budget a hung worker used to drain per attempt
+	start := time.Now()
+	got, err := coord.Diagnose(d0, log, complaints, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Resolved {
+		t.Fatalf("diagnosis with a hung worker unresolved: %+v", got.Stats)
+	}
+	sch := d0.Schema()
+	if w, g := repairFingerprint(sch, want), repairFingerprint(sch, got); w != g {
+		t.Errorf("hung-worker repair differs from local:\n got:\n%s\nwant:\n%s", g, w)
+	}
+	if got.Stats.RemoteJobs != got.Stats.Partitions {
+		t.Errorf("RemoteJobs = %d, want %d (retry must reach the healthy worker)",
+			got.Stats.RemoteJobs, got.Stats.Partitions)
+	}
+	// Generous bound: 2 jobs × (one 10s hung attempt + solve + slack)
+	// stays under a minute; the uncapped behavior needed over 5 minutes
+	// per hung attempt.
+	if elapsed > 2*time.Minute {
+		t.Errorf("diagnosis took %v; the hung worker drained the budget", elapsed)
+	}
+}
+
+// E2E: repeat jobs hit the worker's decode cache — within one run
+// (every partition ships the identical D0/log) and across runs — while
+// the repairs stay byte-identical to the uncached local reference.
+func TestWorkerCacheRepeatJobsByteIdentical(t *testing.T) {
+	d0, log, complaints := benchInstance(t, 4)
+	want := localReference(t, d0, log, complaints)
+	sch := d0.Schema()
+
+	// One worker, so all four partition jobs land on the same cache.
+	coord := dist.Connect(dist.Config{Logf: t.Logf}, startWorker(t))
+	defer coord.Close()
+
+	first, err := coord.Diagnose(d0, log, complaints, partitionOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := repairFingerprint(sch, want), repairFingerprint(sch, first); w != g {
+		t.Errorf("first distributed repair differs from local:\n got:\n%s\nwant:\n%s", g, w)
+	}
+	if first.Stats.WorkerCacheHits == 0 {
+		t.Errorf("first run: WorkerCacheHits = 0, want repeat jobs of the run to hit " +
+			"(every partition carries the same D0/log)")
+	}
+	if first.Stats.WorkerCacheHits >= first.Stats.Partitions {
+		t.Errorf("first run: WorkerCacheHits = %d of %d jobs; the first job cannot hit a cold cache",
+			first.Stats.WorkerCacheHits, first.Stats.Partitions)
+	}
+
+	second, err := coord.Diagnose(d0, log, complaints, partitionOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := repairFingerprint(sch, want), repairFingerprint(sch, second); w != g {
+		t.Errorf("cached repeat repair differs from local:\n got:\n%s\nwant:\n%s", g, w)
+	}
+	if second.Stats.WorkerCacheHits != second.Stats.Partitions {
+		t.Errorf("repeat run: WorkerCacheHits = %d, want every job (%d) to hit",
+			second.Stats.WorkerCacheHits, second.Stats.Partitions)
+	}
+	if second.Stats.ImpactCacheHits == 0 {
+		t.Error("repeat run: worker impact cache never hit; jobs re-planned from scratch")
+	}
+	if second.Stats.RemoteJobs != second.Stats.Partitions {
+		t.Errorf("repeat run: RemoteJobs = %d, want %d", second.Stats.RemoteJobs, second.Stats.Partitions)
+	}
+}
+
+// A worker with caching disabled must behave exactly like the v1 path:
+// no hits, identical repairs.
+func TestWorkerCacheDisabled(t *testing.T) {
+	d0, log, complaints := benchInstance(t, 4)
+	want := localReference(t, d0, log, complaints)
+
+	addr := startWorkerWithCache(t, -1)
+	coord := dist.Connect(dist.Config{Logf: t.Logf}, addr)
+	defer coord.Close()
+	for run := 0; run < 2; run++ {
+		got, err := coord.Diagnose(d0, log, complaints, partitionOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.WorkerCacheHits != 0 {
+			t.Errorf("run %d: WorkerCacheHits = %d with caching disabled", run, got.Stats.WorkerCacheHits)
+		}
+		sch := d0.Schema()
+		if w, g := repairFingerprint(sch, want), repairFingerprint(sch, got); w != g {
+			t.Errorf("run %d: cacheless repair differs from local:\n got:\n%s\nwant:\n%s", run, g, w)
+		}
+	}
+}

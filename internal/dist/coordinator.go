@@ -2,6 +2,8 @@ package dist
 
 import (
 	"context"
+	"encoding/json"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,9 +15,13 @@ import (
 
 // Config tunes a Coordinator.
 type Config struct {
-	// JobTimeout bounds one dispatch attempt (dial + solve + result)
-	// when the job carries no TotalTimeLimit of its own. Zero picks
-	// DefaultJobTimeout.
+	// JobTimeout bounds one dispatch attempt (dial + solve + result).
+	// When the job carries a TotalTimeLimit, each attempt is further
+	// bounded by an equal share of the remaining budget reserved across
+	// the planned attempts plus the local fallback (attemptTimeout), so
+	// a hung worker can't absorb the whole diagnosis budget — without
+	// that cap no retry would ever run and the local fallback would
+	// start broke. Zero picks DefaultJobTimeout.
 	JobTimeout time.Duration
 	// Retries is how many additional workers a failed job is offered
 	// before falling back to the local engine. Negative disables
@@ -50,14 +56,16 @@ type Coordinator struct {
 	// log, so their wire encodings are computed once and shared (the
 	// serialized forms are read-only). Keyed by identity plus cheap
 	// mutation witnesses; Diagnose additionally resets the cache per run.
-	encMu     sync.Mutex
-	encD0     *relation.Table
-	encD0Len  int
-	encNextID int64
-	encTable  wireTable
-	encLogPtr *query.Query
-	encLogLen int
-	encLog    []wireQuery
+	encMu        sync.Mutex
+	encD0        *relation.Table
+	encD0Len     int
+	encNextID    int64
+	encTable     wireTable
+	encD0Digest  uint64
+	encLogPtr    *query.Query
+	encLogLen    int
+	encLog       []wireQuery
+	encLogDigest uint64
 }
 
 // NewCoordinator builds a coordinator over the given transports. With no
@@ -161,15 +169,11 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 		t := c.transports[(start+a)%len(c.transports)]
 		timeout := c.cfg.JobTimeout
 		if !deadline.IsZero() {
-			// The worker enforces the solve budget itself; the dispatch
-			// only needs to cover what is left of it plus wire slack —
-			// measured against the shared deadline, so consecutive
-			// attempts drain one budget rather than each taking a full
-			// one.
-			timeout = time.Until(deadline) + transportSlack
-			if timeout <= transportSlack/2 {
+			remain := time.Until(deadline)
+			if remain <= -transportSlack/2 {
 				break
 			}
+			timeout = attemptTimeout(c.cfg.JobTimeout, remain, attempts-a)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		res, err := t.Do(ctx, job)
@@ -207,9 +211,32 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 	return nil, false
 }
 
+// attemptTimeout bounds one dispatch attempt against the job's budget.
+// The remaining budget is split into equal shares for this attempt,
+// each later attempt, and a local-fallback reserve — so a worker that
+// accepts the job and then hangs can neither starve the promised retry
+// on a distinct worker nor leave the fallback broke, whatever the
+// TotalTimeLimit. transportSlack rides on top for wire overhead (the
+// worker enforces the solve budget itself); the result never exceeds
+// JobTimeout, nor what is left of the budget plus slack. Budgets within
+// a few transportSlacks are degenerate: the slack floor dominates and
+// the reserve is best-effort.
+func attemptTimeout(jobTimeout, remain time.Duration, attemptsLeft int) time.Duration {
+	timeout := jobTimeout
+	if share := remain/time.Duration(attemptsLeft+1) + transportSlack; share < timeout {
+		timeout = share
+	}
+	if all := remain + transportSlack; all < timeout {
+		timeout = all
+	}
+	return timeout
+}
+
 // encodeJob builds the wire job, memoizing the D0 and log encodings:
 // every partition of one diagnosis ships the identical initial state and
-// log, so they are serialized once and shared read-only across jobs. The
+// log, so they are serialized once and shared read-only across jobs,
+// along with content digests of both — computed here once per run and
+// stamped on every job so workers can key their decode caches. The
 // cache keys on identity plus cheap mutation witnesses (length, next ID)
 // and is reset per Diagnose run; callers that install the coordinator
 // directly and mutate a table in place between diagnoses should use a
@@ -220,6 +247,7 @@ func (c *Coordinator) encodeJob(id uint64, sub core.Subproblem) (*Job, error) {
 	if c.encD0 != sub.D0 || c.encD0Len != sub.D0.Len() || c.encNextID != sub.D0.NextID() {
 		c.encD0, c.encD0Len, c.encNextID = sub.D0, sub.D0.Len(), sub.D0.NextID()
 		c.encTable = encodeTable(sub.D0)
+		c.encD0Digest = digestJSON(c.encTable)
 	}
 	var logPtr *query.Query
 	if len(sub.Log) > 0 {
@@ -231,10 +259,13 @@ func (c *Coordinator) encodeJob(id uint64, sub core.Subproblem) (*Job, error) {
 			return nil, err
 		}
 		c.encLogPtr, c.encLogLen, c.encLog = logPtr, len(sub.Log), logw
+		c.encLogDigest = digestJSON(logw)
 	}
 	return &Job{
 		Version:    WireVersion,
 		ID:         id,
+		D0Digest:   c.encD0Digest,
+		LogDigest:  c.encLogDigest,
 		D0:         c.encTable,
 		Log:        c.encLog,
 		Complaints: sub.Complaints,
@@ -242,11 +273,24 @@ func (c *Coordinator) encodeJob(id uint64, sub core.Subproblem) (*Job, error) {
 	}, nil
 }
 
+// digestJSON fingerprints a wire structure by its serialized form (the
+// exact bytes the worker would otherwise re-decode). A zero return
+// (marshal failure) disables caching for the job rather than erring.
+func digestJSON(v any) uint64 {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
 // resetEncCache drops the memoized encodings.
 func (c *Coordinator) resetEncCache() {
 	c.encMu.Lock()
-	c.encD0, c.encTable = nil, wireTable{}
-	c.encLogPtr, c.encLog = nil, nil
+	c.encD0, c.encTable, c.encD0Digest = nil, wireTable{}, 0
+	c.encLogPtr, c.encLog, c.encLogDigest = nil, nil, 0
 	c.encMu.Unlock()
 }
 
@@ -267,6 +311,17 @@ func (c *Coordinator) Diagnose(d0 *relation.Table, log []query.Query,
 	c.resetEncCache()
 	defer c.resetEncCache()
 	return core.Diagnose(d0, log, complaints, opt)
+}
+
+// DiagnoseWorkers runs one diagnosis with a throwaway coordinator over
+// the given worker addresses — the Options.Workers bootstrap shared by
+// qfix.Diagnose and histstore.Store.Diagnose, kept here so every entry
+// point configures the fleet identically.
+func DiagnoseWorkers(workers []string, d0 *relation.Table, log []query.Query,
+	complaints []core.Complaint, opt core.Options) (*core.Repair, error) {
+	coord := Connect(Config{}, workers...)
+	defer coord.Close()
+	return coord.Diagnose(d0, log, complaints, opt)
 }
 
 func (c *Coordinator) logf(format string, args ...any) {

@@ -19,12 +19,18 @@ type Server struct {
 	// limits of incoming jobs — a fleet operator's guard against a
 	// coordinator requesting unbounded solves.
 	MaxTimeLimit time.Duration
+	// CacheSize bounds the decode cache: repeat jobs whose D0/log
+	// digests match a cached entry skip the wire decode and the
+	// planning closure (workercache.go). Zero picks
+	// DefaultWorkerCacheEntries; negative disables caching.
+	CacheSize int
 	// Logf, when set, receives one line per job and per protocol error.
 	Logf func(format string, args ...any)
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
+	cache  *workerCache
 	closed bool
 }
 
@@ -97,15 +103,29 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		start := time.Now()
 		s.capLimits(&job)
-		res := solveJob(&job)
-		s.logf("dist: job %d from %s: complaints=%d resolved=%v err=%q (%v)",
-			job.ID, conn.RemoteAddr(), len(job.Complaints), res.Resolved, res.Err,
+		res := solveJob(&job, s.workerCache())
+		s.logf("dist: job %d from %s: complaints=%d resolved=%v cachehit=%d err=%q (%v)",
+			job.ID, conn.RemoteAddr(), len(job.Complaints), res.Resolved,
+			res.Stats.WorkerCacheHits, res.Err,
 			time.Since(start).Round(time.Millisecond))
 		if err := enc.Encode(res); err != nil {
 			s.logf("dist: %s: writing result %d: %v", conn.RemoteAddr(), job.ID, err)
 			return
 		}
 	}
+}
+
+// workerCache lazily builds the server's decode cache per CacheSize.
+func (s *Server) workerCache() *workerCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.CacheSize < 0 {
+		return nil
+	}
+	if s.cache == nil {
+		s.cache = newWorkerCache(s.CacheSize)
+	}
+	return s.cache
 }
 
 // capLimits clamps the job's solver budgets to the server's policy.

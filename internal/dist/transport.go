@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+
+	"repro/internal/core"
 )
 
 // Transport delivers one job to a solver and returns its result. A
@@ -39,7 +41,7 @@ func (InProc) Do(ctx context.Context, job *Job) (*Result, error) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		return nil, err
 	}
-	res := solveJob(&decoded)
+	res := solveJob(&decoded, nil)
 	rawRes, err := json.Marshal(res)
 	if err != nil {
 		return nil, err
@@ -59,13 +61,40 @@ func (InProc) Close() error { return nil }
 
 // solveJob is the worker-side job handler shared by the in-process
 // transport and the network server: decode (rejecting version
-// mismatches), solve on the local engine, encode.
-func solveJob(job *Job) *Result {
-	sub, err := DecodeJob(job)
-	if err != nil {
-		return &Result{Version: WireVersion, ID: job.ID, Err: err.Error()}
+// mismatches), solve on the local engine, encode. With a cache, jobs
+// carrying digests reuse the decoded D0/log of earlier same-digest jobs
+// — skipping the decode — and solve with the cache's impact closure
+// installed — skipping the FullImpact pass of planning; the reuse is
+// reported back through Stats.WorkerCacheHits. InProc stays cacheless
+// so it remains the engine-equivalent reference path.
+func solveJob(job *Job, wc *workerCache) *Result {
+	key := wcKey{d0: job.D0Digest, log: job.LogDigest}
+	cached := false
+	var sub core.Subproblem
+	if wc != nil && key.d0 != 0 && key.log != 0 && job.Version == WireVersion {
+		if d0, lg, ok := wc.lookup(key, len(job.D0.Rows), len(job.Log)); ok {
+			sub = core.Subproblem{D0: d0, Log: lg,
+				Complaints: job.Complaints, Options: decodeOptions(job.Options)}
+			cached = true
+		}
+	}
+	if !cached {
+		var err error
+		sub, err = DecodeJob(job)
+		if err != nil {
+			return &Result{Version: WireVersion, ID: job.ID, Err: err.Error()}
+		}
+		if wc != nil && key.d0 != 0 && key.log != 0 {
+			wc.store(key, sub.D0, sub.Log)
+		}
+	}
+	if wc != nil && sub.Options.ImpactCache == nil {
+		sub.Options.ImpactCache = wc.impact
 	}
 	rep, err := sub.SolveLocal()
+	if err == nil && cached {
+		rep.Stats.WorkerCacheHits = 1
+	}
 	res, encErr := EncodeResult(job.ID, rep, err)
 	if encErr != nil {
 		return &Result{Version: WireVersion, ID: job.ID, Err: encErr.Error()}

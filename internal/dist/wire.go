@@ -29,13 +29,25 @@ import (
 // Version differs — coordinator and worker binaries must be built from
 // compatible trees. Bump on any incompatible change to the frame types
 // below.
-const WireVersion = 1
+//
+// v2 added the D0/log digests (worker-side decode caching) and the
+// cache-hit counters carried back in Result.Stats.
+const WireVersion = 2
 
 // Job is one partition subproblem on the wire. It is self-contained:
 // the worker needs nothing but the job to solve it.
+//
+// D0Digest and LogDigest fingerprint the (identical) initial state and
+// log that every partition job of one diagnosis carries: workers key an
+// LRU of decoded state on them, so repeat jobs skip the decode and —
+// via the worker's impact cache — the planning closure. Zero digests
+// disable caching for the job; they are an optimization handle, never
+// load-bearing for correctness (the full state still rides along).
 type Job struct {
 	Version    int              `json:"version"`
 	ID         uint64           `json:"id"`
+	D0Digest   uint64           `json:"d0_digest,omitempty"`
+	LogDigest  uint64           `json:"log_digest,omitempty"`
 	D0         wireTable        `json:"d0"`
 	Log        []wireQuery      `json:"log"`
 	Complaints []core.Complaint `json:"complaints"`

@@ -10,12 +10,35 @@
 // Layout:
 //
 //	dir/meta.txt      table name, key attribute, attribute names
-//	dir/snapshot.csv  D0 rows (tuple IDs implicit: 1..n in order)
-//	dir/log.sql       one statement per line, append-only
+//	dir/snapshot.csv  D0: a "qfixsnap,2,<nextid>,<gen>" header record,
+//	                  then one "<tuple-id>,<v1>,...,<vn>" row per tuple
+//	dir/log.sql       a "-- qfixlog gen <gen>" header, then one
+//	                  statement per line, append-only
+//
+// Tuple IDs and the insert counter are persisted explicitly (format 2)
+// so identities survive checkpoint and reopen even after DELETEs — a
+// store whose complaints and caches are keyed by TupleID must never
+// renumber surviving rows. The legacy ID-less snapshot format (rows of
+// bare values, IDs implicitly 1..n) is still read; the first Checkpoint
+// upgrades it.
+//
+// The generation number is the checkpoint commit protocol: Checkpoint
+// writes the new snapshot under a temporary name and renames it into
+// place, and the rename is the commit point — the snapshot's gen no
+// longer matches the old log's header, so Open treats that log as stale
+// (pre-checkpoint) and discards it. A crash at any step leaves the
+// store openable and consistent: either entirely pre-checkpoint or
+// entirely post-checkpoint, never a new snapshot with the old log
+// silently replayed on top.
 //
 // Everything is line-oriented text so the store remains greppable and
 // diffable; durability relies on O_APPEND + Sync, which is adequate for
 // a reproduction (a production system would layer a WAL with checksums).
+//
+// A store also owns a core.ImpactCache: Diagnose installs it, so repeat
+// diagnoses of the same log reuse the FullImpact closure, and Append
+// eagerly extends the cached closure (core.ExtendFullImpact) so a
+// diagnosis after appends starts from a warm closure.
 package histstore
 
 import (
@@ -27,10 +50,22 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/sqlparse"
 )
+
+// snapMagic marks a format-2 snapshot header record.
+const snapMagic = "qfixsnap"
+
+// snapFormat is the snapshot format this package writes.
+const snapFormat = 2
+
+// logGenPrefix starts the log's generation header line. It is a SQL
+// comment, so legacy readers (and grep) skip it naturally.
+const logGenPrefix = "-- qfixlog gen "
 
 // Store is an open history directory.
 type Store struct {
@@ -39,6 +74,16 @@ type Store struct {
 	d0     *relation.Table
 	log    []query.Query
 	logF   *os.File
+	// gen is the checkpoint generation; 0 for stores still on the
+	// legacy snapshot format.
+	gen int64
+	// digest is the rolling log digest (core.DigestStep per append),
+	// the impact cache key for the current log.
+	digest uint64
+	cache  *core.ImpactCache
+	// impact is the FullImpact closure covering log, once a diagnosis
+	// has materialized one; Append extends it incrementally.
+	impact []query.AttrSet
 }
 
 // Create initializes a new history directory with the given checkpoint
@@ -62,16 +107,34 @@ func Create(dir string, d0 *relation.Table) (*Store, error) {
 		return nil, err
 	}
 
-	snap, err := os.Create(filepath.Join(dir, "snapshot.csv"))
+	const gen = 1
+	if err := writeSnapshot(filepath.Join(dir, "snapshot.csv"), d0, gen); err != nil {
+		return nil, err
+	}
+	logF, err := freshLog(dir, gen)
 	if err != nil {
 		return nil, err
 	}
-	w := csv.NewWriter(snap)
-	var werr error
-	d0.Rows(func(t relation.Tuple) {
-		rec := make([]string, len(t.Values))
+	syncDir(dir)
+	return &Store{dir: dir, schema: sch, d0: d0.Clone(), logF: logF, gen: gen,
+		digest: core.DigestSeed(sch), cache: core.NewImpactCache(0)}, nil
+}
+
+// writeSnapshot writes a format-2 snapshot (header record, then one
+// ID-prefixed row per tuple) to path and syncs it.
+func writeSnapshot(path string, tb *relation.Table, gen int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	werr := w.Write([]string{snapMagic, strconv.Itoa(snapFormat),
+		strconv.FormatInt(tb.NextID(), 10), strconv.FormatInt(gen, 10)})
+	tb.Rows(func(t relation.Tuple) {
+		rec := make([]string, 1+len(t.Values))
+		rec[0] = strconv.FormatInt(t.ID, 10)
 		for i, v := range t.Values {
-			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			rec[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
 		}
 		if err := w.Write(rec); err != nil && werr == nil {
 			werr = err
@@ -81,19 +144,137 @@ func Create(dir string, d0 *relation.Table) (*Store, error) {
 	if werr == nil {
 		werr = w.Error()
 	}
-	if cerr := snap.Close(); werr == nil {
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
 	if werr != nil {
-		return nil, werr
+		os.Remove(path)
 	}
+	return werr
+}
 
-	logF, err := os.OpenFile(filepath.Join(dir, "log.sql"),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// freshLog replaces log.sql with an empty generation-stamped log via
+// temp-file-and-rename and reopens it for appending.
+func freshLog(dir string, gen int64) (*os.File, error) {
+	path := filepath.Join(dir, "log.sql")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, schema: sch, d0: d0.Clone(), logF: logF}, nil
+	_, werr := fmt.Fprintf(f, "%s%d\n", logGenPrefix, gen)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return nil, werr
+	}
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// syncDir flushes directory metadata (renames, creates) best-effort.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}
+
+// readSnapshot loads snapshot.csv in either format: format 2 restores
+// explicit tuple IDs, the insert counter and the checkpoint generation;
+// the legacy format assigns IDs 1..n in row order (gen 0).
+func readSnapshot(path string, sch *relation.Schema) (*relation.Table, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	rd.FieldsPerRecord = -1 // header and rows differ in width
+	records, err := rd.ReadAll()
+	if err != nil {
+		return nil, 0, fmt.Errorf("histstore: snapshot: %w", err)
+	}
+	if len(records) == 0 || records[0][0] != snapMagic {
+		tb, err := readLegacySnapshot(records, sch)
+		return tb, 0, err
+	}
+
+	hdr := records[0]
+	if len(hdr) != 4 {
+		return nil, 0, fmt.Errorf("histstore: snapshot: malformed %s header", snapMagic)
+	}
+	format, err := strconv.Atoi(hdr[1])
+	if err != nil || format != snapFormat {
+		return nil, 0, fmt.Errorf("histstore: snapshot format %q not supported (want %d)", hdr[1], snapFormat)
+	}
+	nextID, err := strconv.ParseInt(hdr[2], 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("histstore: snapshot: bad nextid %q", hdr[2])
+	}
+	gen, err := strconv.ParseInt(hdr[3], 10, 64)
+	if err != nil || gen < 1 {
+		return nil, 0, fmt.Errorf("histstore: snapshot: bad generation %q", hdr[3])
+	}
+	rows := make([]relation.Tuple, 0, len(records)-1)
+	for li, rec := range records[1:] {
+		if len(rec) != sch.Width()+1 {
+			return nil, 0, fmt.Errorf("histstore: snapshot line %d: %d fields, want id + %d values",
+				li+2, len(rec), sch.Width())
+		}
+		id, err := strconv.ParseInt(strings.TrimSpace(rec[0]), 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("histstore: snapshot line %d: bad tuple id: %w", li+2, err)
+		}
+		vals, err := parseValues(rec[1:], li+2)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, relation.Tuple{ID: id, Values: vals})
+	}
+	tb, err := relation.NewTableFromRows(sch, rows, nextID)
+	if err != nil {
+		return nil, 0, fmt.Errorf("histstore: snapshot: %w", err)
+	}
+	return tb, gen, nil
+}
+
+// readLegacySnapshot loads the original ID-less format: one row of bare
+// values per tuple, IDs implicitly 1..n.
+func readLegacySnapshot(records [][]string, sch *relation.Schema) (*relation.Table, error) {
+	tb := relation.NewTable(sch)
+	for li, rec := range records {
+		vals, err := parseValues(rec, li+1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tb.Insert(vals); err != nil {
+			return nil, fmt.Errorf("histstore: snapshot line %d: %w", li+1, err)
+		}
+	}
+	return tb, nil
+}
+
+func parseValues(cells []string, line int) ([]float64, error) {
+	vals := make([]float64, len(cells))
+	for i, cell := range cells {
+		v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+		if err != nil {
+			return nil, fmt.Errorf("histstore: snapshot line %d: %w", line, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
 }
 
 // Open loads an existing history directory.
@@ -120,31 +301,13 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("histstore: bad meta: %w", err)
 	}
 
-	snapF, err := os.Open(filepath.Join(dir, "snapshot.csv"))
+	d0, gen, err := readSnapshot(filepath.Join(dir, "snapshot.csv"), sch)
 	if err != nil {
 		return nil, err
 	}
-	defer snapF.Close()
-	records, err := csv.NewReader(snapF).ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("histstore: snapshot: %w", err)
-	}
-	d0 := relation.NewTable(sch)
-	for li, rec := range records {
-		vals := make([]float64, len(rec))
-		for i, cell := range rec {
-			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
-			if err != nil {
-				return nil, fmt.Errorf("histstore: snapshot line %d: %w", li+1, err)
-			}
-			vals[i] = v
-		}
-		if _, err := d0.Insert(vals); err != nil {
-			return nil, fmt.Errorf("histstore: snapshot line %d: %w", li+1, err)
-		}
-	}
 
 	var log []query.Query
+	logGen := int64(-1)
 	logPath := filepath.Join(dir, "log.sql")
 	if f, err := os.Open(logPath); err == nil {
 		sc := bufio.NewScanner(f)
@@ -153,6 +316,26 @@ func Open(dir string) (*Store, error) {
 		for sc.Scan() {
 			ln++
 			line := strings.TrimSpace(sc.Text())
+			if ln == 1 {
+				if g, ok := parseLogGen(line); ok {
+					logGen = g
+					if gen > 0 && logGen != gen {
+						// Stale pre-checkpoint log: stop before parsing
+						// any statements — crash recovery must not
+						// depend on the contents of a file it is about
+						// to discard (a torn line in it is fine).
+						break
+					}
+					continue
+				}
+				if gen > 0 {
+					// A format-2 store's log always opens with its
+					// generation header (freshLog writes it first); a
+					// headerless file is stale or foreign. Same rule:
+					// don't parse what will be discarded.
+					break
+				}
+			}
 			if line == "" || strings.HasPrefix(line, "--") {
 				continue
 			}
@@ -170,11 +353,39 @@ func Open(dir string) (*Store, error) {
 		f.Close()
 	}
 
-	logF, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
+	var logF *os.File
+	if gen > 0 && logGen != gen {
+		// The log predates the snapshot: a checkpoint committed its
+		// snapshot rename but crashed before replacing the log (or the
+		// log file is missing). Those statements are already folded into
+		// the snapshot state — finish the checkpoint by discarding them.
+		log = nil
+		if logF, err = freshLog(dir, gen); err != nil {
+			return nil, err
+		}
+		syncDir(dir)
+	} else if logF, err = os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, schema: sch, d0: d0, log: log, logF: logF}, nil
+
+	s := &Store{dir: dir, schema: sch, d0: d0, log: log, logF: logF, gen: gen,
+		digest: core.DigestSeed(sch), cache: core.NewImpactCache(0)}
+	for _, q := range log {
+		s.digest = core.DigestStep(s.digest, sch, q)
+	}
+	return s, nil
+}
+
+// parseLogGen recognizes the log's generation header line.
+func parseLogGen(line string) (int64, bool) {
+	if !strings.HasPrefix(line, logGenPrefix) {
+		return 0, false
+	}
+	g, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, logGenPrefix)), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
 }
 
 // Close releases the log file handle.
@@ -196,6 +407,10 @@ func (s *Store) D0() *relation.Table { return s.d0.Clone() }
 // Log returns a copy of the persisted query log.
 func (s *Store) Log() []query.Query { return query.CloneLog(s.log) }
 
+// ImpactCache returns the store's impact cache (shared by every
+// Diagnose on this store).
+func (s *Store) ImpactCache() *core.ImpactCache { return s.cache }
+
 // Append durably adds a statement to the log.
 func (s *Store) Append(q query.Query) error {
 	if s.logF == nil {
@@ -214,7 +429,27 @@ func (s *Store) Append(q query.Query) error {
 		return err
 	}
 	s.log = append(s.log, q.Clone())
+	s.digest = core.DigestStep(s.digest, s.schema, q)
+	s.extendImpact()
 	return nil
+}
+
+// extendImpact keeps the cached FullImpact closure covering the log:
+// once a diagnosis has materialized one, every append extends it
+// incrementally (touching only prefix entries whose impact reaches the
+// new statement) so the next Diagnose starts from a warm closure
+// instead of paying the update — let alone the full O(n²) recompute —
+// on the diagnosis path. Quiet appends (statements nothing upstream
+// feeds into) cost O(n) set-intersection checks; for a diagnose-rarely
+// bulk loader even that is wasted, but it is dwarfed by Append's
+// per-statement fsync, and a store that never diagnoses never
+// materializes a closure to maintain in the first place.
+func (s *Store) extendImpact() {
+	if s.impact == nil {
+		return
+	}
+	s.impact = core.ExtendFullImpact(s.impact, s.log, s.schema.Width())
+	s.cache.Put(s.digest, len(s.log), s.impact)
 }
 
 // AppendSQL parses and durably adds a statement written in SQL.
@@ -235,28 +470,87 @@ func (s *Store) Current() (*relation.Table, error) {
 	return query.Replay(s.log, s.d0)
 }
 
+// Diagnose runs QFix over the store's checkpoint state and log with the
+// store's impact cache installed: the first call pays the FullImpact
+// closure, repeat calls over the same log reuse it
+// (Stats.ImpactCacheHits), and calls after Appends reuse the
+// incrementally extended closure (Stats.ImpactCacheExtends counts
+// extensions done on the diagnosis path; appends extend eagerly, so the
+// usual count there is zero). With Options.Workers set (and no explicit
+// PartitionSolver), partition subproblems ship to a dist coordinator
+// exactly as in the top-level qfix.Diagnose.
+func (s *Store) Diagnose(complaints []core.Complaint, opt core.Options) (*core.Repair, error) {
+	if opt.ImpactCache == nil {
+		opt.ImpactCache = s.cache
+	}
+	if opt.LogDigest == 0 {
+		opt.LogDigest = s.digest // exact-hit fast path: no SQL re-rendering
+	}
+	var rep *core.Repair
+	var err error
+	if len(opt.Workers) > 0 && opt.PartitionSolver == nil {
+		rep, err = dist.DiagnoseWorkers(opt.Workers, s.d0, s.log, complaints, opt)
+	} else {
+		rep, err = core.Diagnose(s.d0, s.log, complaints, opt)
+	}
+	if err == nil && opt.ImpactCache == s.cache {
+		// Adopt the closure the diagnosis (or a predecessor) cached so
+		// future Appends extend it eagerly.
+		if full, ok := s.cache.Cached(s.digest, len(s.log)); ok {
+			s.impact = full
+		}
+	}
+	return rep, err
+}
+
 // Checkpoint rewrites the snapshot to the current state and truncates
 // the log: the paper's "D0 can be a checkpoint: a state of the database
 // that we assume is correct; we cannot diagnose errors before this
 // state." Call it after repairs have been validated.
+//
+// The rewrite is crash-safe: the new snapshot is written under a
+// temporary name and renamed into place, and that rename is the commit
+// point — it carries a new generation, so the not-yet-truncated log
+// (stamped with the old generation) is recognized as stale and
+// discarded by Open. Tuple IDs and the insert counter are preserved
+// exactly (format 2), so complaints and caches keyed by TupleID remain
+// valid across the checkpoint even when DELETEs removed rows.
 func (s *Store) Checkpoint() error {
 	cur, err := s.Current()
 	if err != nil {
 		return err
 	}
-	if err := s.Close(); err != nil {
+	gen := s.gen + 1 // a legacy store (gen 0) upgrades to gen 1
+	dirPath := filepath.Join(s.dir, "snapshot.csv")
+	tmp := dirPath + ".tmp"
+	if err := writeSnapshot(tmp, cur, gen); err != nil {
 		return err
 	}
-	if err := os.Remove(filepath.Join(s.dir, "meta.txt")); err != nil {
+	if err := os.Rename(tmp, dirPath); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	if err := os.Remove(filepath.Join(s.dir, "log.sql")); err != nil && !os.IsNotExist(err) {
-		return err
+	// Persist the commit before touching the log: without this barrier
+	// a crash could reorder the renames on disk — new-gen log durable,
+	// new snapshot not — and Open would then discard the old log as
+	// stale against the old snapshot, losing synced appends.
+	syncDir(s.dir)
+	// Commit point passed: the store now reads as post-checkpoint even
+	// if anything below fails.
+	if s.logF != nil {
+		s.logF.Close()
+		s.logF = nil
 	}
-	ns, err := Create(s.dir, cur)
+	logF, err := freshLog(s.dir, gen)
 	if err != nil {
 		return err
 	}
-	*s = *ns
+	syncDir(s.dir)
+	s.d0 = cur
+	s.log = nil
+	s.logF = logF
+	s.gen = gen
+	s.digest = core.DigestSeed(s.schema)
+	s.impact = nil
 	return nil
 }

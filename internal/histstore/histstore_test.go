@@ -212,3 +212,284 @@ func TestStoreToDiagnosisPipeline(t *testing.T) {
 		t.Errorf("unexpected repaired SQL: %s", repairedSQL)
 	}
 }
+
+// Regression (tuple-identity loss): a log containing DELETEs used to be
+// checkpointed into an ID-less snapshot, so reopening renumbered the
+// survivors 1..n and every TupleID-keyed complaint pointed at the wrong
+// row. Format 2 persists IDs and the insert counter.
+func TestCheckpointPreservesTupleIDsAfterDelete(t *testing.T) {
+	s, _ := newStore(t)
+	dir := s.dir
+	s.AppendSQL("DELETE FROM Taxes WHERE income < 10000") // removes tuple 1
+	s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700")
+	wantIDs := []int64{2, 3, 4}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, st *Store) {
+		t.Helper()
+		d0 := st.D0()
+		got := d0.IDs()
+		if len(got) != len(wantIDs) {
+			t.Fatalf("%s: IDs = %v, want %v", label, got, wantIDs)
+		}
+		for i, id := range wantIDs {
+			if got[i] != id {
+				t.Fatalf("%s: IDs = %v, want %v (survivors renumbered)", label, got, wantIDs)
+			}
+		}
+		if d0.NextID() != 5 {
+			t.Errorf("%s: NextID = %d, want 5 (insert counter must survive)", label, d0.NextID())
+		}
+		tp, ok := d0.Get(3)
+		if !ok || tp.Values[1] != 86000*0.3 {
+			t.Errorf("%s: tuple 3 = %+v ok=%v, want owed 25800", label, tp, ok)
+		}
+	}
+	check("after checkpoint", s)
+	s.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	check("after reopen", re)
+	// IDs allocated post-checkpoint continue the original sequence, so
+	// replay alignment (and therefore complaints) stays correct.
+	if _, err := re.AppendSQL("INSERT INTO Taxes VALUES (50000, 12500, 37500)"); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := re.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Get(5); !ok {
+		t.Errorf("post-checkpoint insert got IDs %v, want it at 5", cur.IDs())
+	}
+}
+
+// The legacy ID-less snapshot format (pre-format-2 stores) must still
+// open, with IDs implicitly 1..n; the first checkpoint upgrades it.
+func TestOpenLegacySnapshotFormat(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "meta.txt"),
+		[]byte("table Taxes\nattrs income,owed,pay\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "snapshot.csv"),
+		[]byte("9500,950,8550\n90000,22500,67500\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "log.sql"),
+		[]byte("UPDATE Taxes SET pay = income - owed;\n"), 0o644)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.D0().IDs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("legacy IDs = %v, want [1 2]", got)
+	}
+	if len(s.Log()) != 1 {
+		t.Fatalf("legacy log len = %d, want 1", len(s.Log()))
+	}
+	if s.gen != 0 {
+		t.Errorf("legacy gen = %d, want 0", s.gen)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.gen != 1 {
+		t.Errorf("upgraded gen = %d, want 1", re.gen)
+	}
+	if got := re.D0().IDs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("upgraded IDs = %v, want [1 2]", got)
+	}
+}
+
+// Regression (non-atomic Checkpoint): simulate a crash after the
+// snapshot rename committed but before the log was truncated — the old
+// log (stamped with the previous generation) must be recognized as
+// stale and discarded, not replayed on top of the new snapshot, and the
+// store must open cleanly.
+func TestCheckpointCrashBeforeLogTruncateRecovers(t *testing.T) {
+	s, _ := newStore(t)
+	dir := s.dir
+	s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700")
+	cur, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crash point: new snapshot in place (gen+1), old log untouched.
+	if err := writeSnapshot(filepath.Join(dir, "snapshot.csv"), cur, s.gen+1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("store not openable after simulated crash: %v", err)
+	}
+	defer re.Close()
+	if n := len(re.Log()); n != 0 {
+		t.Fatalf("stale log replayed: %d statements survive", n)
+	}
+	if d := relation.DiffTables(re.D0(), cur, 1e-9); len(d) != 0 {
+		t.Fatalf("recovered D0 differs from checkpoint state: %d diffs", len(d))
+	}
+	// Recovery must complete the checkpoint: the rewritten log carries
+	// the new generation, so appends and another reopen behave normally.
+	if _, err := re.AppendSQL("UPDATE Taxes SET pay = income - owed"); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if n := len(again.Log()); n != 1 {
+		t.Errorf("log after recovery+append = %d statements, want 1", n)
+	}
+}
+
+// A crash before the snapshot rename must leave the store fully
+// pre-checkpoint: the temp file is ignored by Open.
+func TestCheckpointCrashBeforeSnapshotRenameRollsBack(t *testing.T) {
+	s, _ := newStore(t)
+	dir := s.dir
+	s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700")
+	cur, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(filepath.Join(dir, "snapshot.csv.tmp"), cur, s.gen+1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := len(re.Log()); n != 1 {
+		t.Errorf("pre-commit crash lost the log: %d statements, want 1", n)
+	}
+	recovered, err := re.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relation.DiffTables(recovered, cur, 1e-9); len(d) != 0 {
+		t.Errorf("replayed state differs: %d diffs", len(d))
+	}
+}
+
+// Store.Diagnose wires the impact cache: repeat diagnoses hit it, and
+// appends extend the closure eagerly so post-append diagnoses still get
+// an exact hit.
+func TestStoreDiagnoseUsesImpactCache(t *testing.T) {
+	s, _ := newStore(t)
+	s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700")
+	s.AppendSQL("INSERT INTO Taxes VALUES (85800, 21450, 0)")
+	s.AppendSQL("UPDATE Taxes SET pay = income - owed")
+	complaints := []core.Complaint{
+		{TupleID: 3, Exists: true, Values: []float64{86000, 21500, 64500}},
+	}
+	opts := core.Options{Algorithm: core.Incremental, TupleSlicing: true,
+		QuerySlicing: true, TimeLimit: 30 * time.Second}
+
+	first, err := s.Diagnose(complaints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Resolved || first.Stats.ImpactCacheHits != 0 {
+		t.Fatalf("first diagnosis: resolved=%v hits=%d", first.Resolved, first.Stats.ImpactCacheHits)
+	}
+	if s.impact == nil {
+		t.Fatal("store did not adopt the diagnosis closure")
+	}
+
+	second, err := s.Diagnose(complaints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.ImpactCacheHits != 1 || second.Stats.ImpactCacheExtends != 0 {
+		t.Errorf("repeat diagnosis: hits=%d extends=%d, want exact hit",
+			second.Stats.ImpactCacheHits, second.Stats.ImpactCacheExtends)
+	}
+
+	// Appends extend the closure eagerly: the next diagnosis gets an
+	// exact hit, not an on-path extension, and the extended closure is
+	// exactly the fresh one.
+	s.AppendSQL("UPDATE Taxes SET pay = pay - 100 WHERE income >= 90000")
+	if got, want := len(s.impact), len(s.log); got != want {
+		t.Fatalf("eager extension covers %d of %d queries", got, want)
+	}
+	fresh := core.FullImpact(s.log, s.schema.Width())
+	for i := range fresh {
+		if !s.impact[i].ContainsAll(fresh[i]) || !fresh[i].ContainsAll(s.impact[i]) {
+			t.Fatalf("eagerly extended closure wrong at %d: %v want %v",
+				i, s.impact[i].Sorted(), fresh[i].Sorted())
+		}
+	}
+	third, err := s.Diagnose(complaints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Stats.ImpactCacheHits != 1 || third.Stats.ImpactCacheExtends != 0 {
+		t.Errorf("post-append diagnosis: hits=%d extends=%d, want exact hit from eager extension",
+			third.Stats.ImpactCacheHits, third.Stats.ImpactCacheExtends)
+	}
+	if !third.Resolved {
+		t.Error("post-append diagnosis unresolved")
+	}
+
+	// Checkpoint resets the log and the closure state.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.impact != nil || s.digest != core.DigestSeed(s.schema) {
+		t.Error("checkpoint did not reset the impact state")
+	}
+}
+
+// Crash recovery must not depend on the contents of the stale log it
+// discards: a torn final append (crash between write and sync) followed
+// by a crash mid-checkpoint leaves a gen-mismatched log with a
+// malformed last line, and the store must still open.
+func TestCheckpointCrashRecoversDespiteTornStaleLog(t *testing.T) {
+	s, _ := newStore(t)
+	dir := s.dir
+	s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700")
+	cur, err := s.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Tear the last log line, then commit the new snapshot as an
+	// interrupted checkpoint would.
+	f, err := os.OpenFile(filepath.Join(dir, "log.sql"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("UPDATE Taxes SET pay = inco") // torn mid-statement
+	f.Close()
+	if err := writeSnapshot(filepath.Join(dir, "snapshot.csv"), cur, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("store not openable with a torn stale log: %v", err)
+	}
+	defer re.Close()
+	if n := len(re.Log()); n != 0 {
+		t.Fatalf("stale log contents survived: %d statements", n)
+	}
+	if d := relation.DiffTables(re.D0(), cur, 1e-9); len(d) != 0 {
+		t.Errorf("recovered D0 differs from checkpoint state: %d diffs", len(d))
+	}
+}

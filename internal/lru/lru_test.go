@@ -1,0 +1,43 @@
+package lru
+
+import "testing"
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	m := New[int, string](2)
+	m.Put(1, "a")
+	m.Put(2, "b")
+	if _, ok := m.Get(1); !ok { // touch 1 so 2 becomes the victim
+		t.Fatal("entry 1 missing")
+	}
+	m.Put(3, "c")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if _, ok := m.Get(2); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if v, ok := m.Get(1); !ok || v != "a" {
+		t.Errorf("recently used entry lost: %q %v", v, ok)
+	}
+	if v, ok := m.Get(3); !ok || v != "c" {
+		t.Errorf("newest entry lost: %q %v", v, ok)
+	}
+}
+
+func TestPutOverwritesInPlace(t *testing.T) {
+	m := New[string, int](1)
+	m.Put("k", 1)
+	m.Put("k", 2)
+	if v, _ := m.Get("k"); v != 2 || m.Len() != 1 {
+		t.Errorf("overwrite: v=%d len=%d", v, m.Len())
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New[int, int](0)
+}

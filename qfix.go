@@ -95,7 +95,19 @@ type (
 	Stats = core.Stats
 	// Algorithm selects Basic (Algorithm 1) or Incremental (Algorithm 3).
 	Algorithm = core.Algorithm
+	// ImpactCache caches FullImpact closures across diagnoses of the
+	// same (or a growing) log, keyed by a log digest. Install one via
+	// Options.ImpactCache when diagnosing repeatedly: exact repeats skip
+	// the O(n²) closure entirely (Stats.ImpactCacheHits) and diagnoses
+	// after appends pay only an incremental extension
+	// (Stats.ImpactCacheExtends). internal/histstore keeps one per
+	// store; dist workers keep one per process.
+	ImpactCache = core.ImpactCache
 )
+
+// NewImpactCache returns an impact cache bounded to max closures (0
+// picks the default bound). Safe for concurrent use.
+func NewImpactCache(max int) *ImpactCache { return core.NewImpactCache(max) }
 
 // Algorithm choices.
 const (
@@ -148,9 +160,7 @@ func ComplaintsFromDiff(dirty, truth *Table, eps float64) []Complaint {
 // cmd/qfix-worker.
 func Diagnose(d0 *Table, log []Query, complaints []Complaint, opt Options) (*Repair, error) {
 	if len(opt.Workers) > 0 && opt.PartitionSolver == nil {
-		coord := dist.Connect(dist.Config{}, opt.Workers...)
-		defer coord.Close()
-		return coord.Diagnose(d0, log, complaints, opt)
+		return dist.DiagnoseWorkers(opt.Workers, d0, log, complaints, opt)
 	}
 	return core.Diagnose(d0, log, complaints, opt)
 }
