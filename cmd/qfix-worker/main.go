@@ -10,12 +10,17 @@
 // Each job is a self-contained partition subproblem (initial state, query
 // log, complaint subset, solver options) framed as newline-delimited JSON
 // over TCP; the worker solves it with the in-process engine and streams
-// the repair back. Jobs from coordinators speaking a different protocol
-// version are rejected with an error result. -max-timelimit caps the
-// solver budget a coordinator may request. Repeat jobs carrying the
-// digests of an already-decoded D0/log reuse the worker's decode cache
-// and impact closure instead of re-decoding and re-planning (-cache
-// sizes the cache; 0 disables it).
+// the repair back. A wire-v3 coordinator (qfix -mux) keeps one
+// persistent connection and multiplexes jobs over it: up to
+// -max-inflight jobs (a server-wide bound, whatever mix of connections
+// they arrive on) solve concurrently and each result is written the
+// moment its solve lands, possibly out of submission order. v2
+// coordinators (one dialed connection per job) are served unchanged. Jobs from coordinators speaking a protocol generation this
+// binary doesn't know are rejected with an error result. -max-timelimit
+// caps the solver budget a coordinator may request. Repeat jobs
+// carrying the digests of an already-decoded D0/log reuse the worker's
+// decode cache and impact closure instead of re-decoding and
+// re-planning (-cache sizes the cache; 0 disables it).
 package main
 
 import (
@@ -33,6 +38,8 @@ func main() {
 	var (
 		addr  = flag.String("addr", ":7433", "TCP address to listen on")
 		maxTL = flag.Duration("max-timelimit", 0, "cap on per-job solver time limits (0 = trust the coordinator)")
+		inflt = flag.Int("max-inflight", 0,
+			"concurrent solves across the whole worker, however many connections (0 = GOMAXPROCS, <0 = one at a time)")
 		cache = flag.Int("cache", dist.DefaultWorkerCacheEntries,
 			"decode-cache entries: repeat jobs with the same D0/log skip decode and re-planning (0 disables)")
 		quiet = flag.Bool("quiet", false, "suppress per-job logging")
@@ -43,7 +50,7 @@ func main() {
 	if cacheSize <= 0 {
 		cacheSize = -1 // Server treats negative as disabled, 0 as default
 	}
-	srv := &dist.Server{MaxTimeLimit: *maxTL, CacheSize: cacheSize}
+	srv := &dist.Server{MaxTimeLimit: *maxTL, MaxInflight: *inflt, CacheSize: cacheSize}
 	if !*quiet {
 		srv.Logf = log.Printf
 	}
@@ -53,8 +60,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qfix-worker:", err)
 		os.Exit(1)
 	}
-	log.Printf("qfix-worker: serving diagnosis jobs on %s (protocol v%d)",
-		l.Addr(), dist.WireVersion)
+	log.Printf("qfix-worker: serving diagnosis jobs on %s (protocol v%d, accepting back to v%d)",
+		l.Addr(), dist.WireVersion, dist.MinWireVersion)
 	if *maxTL > 0 {
 		log.Printf("qfix-worker: per-job solver budget capped at %v", maxTL.Round(time.Second))
 	}

@@ -49,6 +49,7 @@ func main() {
 		parallel  = flag.String("parallel", "1", "concurrent incremental batch workers (or 'auto' to size from GOMAXPROCS)")
 		partition = flag.String("partition", "0", "partition-parallel diagnosis workers (0 disables partitioning; 'auto' sizes from GOMAXPROCS)")
 		workers   = flag.String("workers", "", "comma-separated qfix-worker addresses (host:port,...) for distributed diagnosis")
+		mux       = flag.Bool("mux", false, "multiplex jobs over one persistent connection per worker (wire v3) instead of dialing per job")
 		noTuple   = flag.Bool("no-tuple-slicing", false, "disable tuple slicing")
 		noQuery   = flag.Bool("no-query-slicing", false, "disable query slicing")
 		attrSlice = flag.Bool("attr-slicing", false, "enable attribute slicing")
@@ -116,6 +117,10 @@ func main() {
 			}
 		}
 	}
+	opts.MuxWorkers = *mux
+	if *mux && len(opts.Workers) == 0 {
+		fmt.Fprintln(os.Stderr, "qfix: -mux has no effect without -workers; diagnosing locally")
+	}
 	switch *algo {
 	case "basic":
 		opts.Algorithm = qfix.Basic
@@ -160,8 +165,8 @@ func main() {
 			rep.Stats.Partitions, rep.Stats.PartitionFallback)
 	}
 	if len(opts.Workers) > 0 {
-		fmt.Printf("-- remote jobs: %d of %d partitions (rest solved locally; worker cache hits: %d)\n",
-			rep.Stats.RemoteJobs, rep.Stats.Partitions, rep.Stats.WorkerCacheHits)
+		fmt.Printf("-- remote jobs: %d of %d partitions (%d streamed over mux; rest solved locally; worker cache hits: %d)\n",
+			rep.Stats.RemoteJobs, rep.Stats.Partitions, rep.Stats.StreamedResults, rep.Stats.WorkerCacheHits)
 	}
 	if len(rep.Changed) == 0 {
 		fmt.Println("-- no queries needed repair")

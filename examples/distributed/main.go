@@ -10,6 +10,13 @@
 // repair is identical to the local run; Stats.RemoteJobs records how
 // much of the solving left the process.
 //
+// The fleet is exercised twice: once dialing a fresh connection per job
+// (the wire-v2 discipline) and once with Options.MuxWorkers, which
+// keeps one persistent multiplexed connection per worker and streams
+// each result back the moment its solve lands
+// (Stats.StreamedResults) — the wire-v3 discipline `qfix -mux` enables
+// from the CLI. All three runs produce the identical repair.
+//
 // In production the two goroutines are `qfix-worker -addr :7433` style
 // processes on other machines and Options.Workers lists their addresses.
 //
@@ -83,8 +90,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-12s resolved=%v partitions=%d remote-jobs=%d distance=%.0f  (%v)\n",
-			name, rep.Resolved, rep.Stats.Partitions, rep.Stats.RemoteJobs, rep.Distance,
+		fmt.Printf("%-12s resolved=%v partitions=%d remote-jobs=%d streamed=%d distance=%.0f  (%v)\n",
+			name, rep.Resolved, rep.Stats.Partitions, rep.Stats.RemoteJobs,
+			rep.Stats.StreamedResults, rep.Distance,
 			time.Since(start).Round(time.Microsecond))
 		return rep
 	}
@@ -93,14 +101,18 @@ func main() {
 
 	distOpts := opts
 	distOpts.Workers = workers // qfix.Diagnose installs the coordinator
-	remote := run("distributed", distOpts)
+	remote := run("dial-per-job", distOpts)
 
-	fmt.Println("\nrepaired history (distributed):")
-	for i, q := range remote.Log {
+	muxOpts := distOpts
+	muxOpts.MuxWorkers = true // one persistent multiplexed connection per worker
+	muxed := run("mux", muxOpts)
+
+	fmt.Println("\nrepaired history (mux):")
+	for i, q := range muxed.Log {
 		fmt.Printf("  q%d: %s\n", i+1, q.String(sch))
 	}
-	if qfix.Distance(local.Log, remote.Log) == 0 {
-		fmt.Println("\ndistributed repair is identical to the local repair ✓")
+	if qfix.Distance(local.Log, remote.Log) == 0 && qfix.Distance(local.Log, muxed.Log) == 0 {
+		fmt.Println("\ndial-per-job and mux repairs are identical to the local repair ✓")
 	} else {
 		fmt.Println("\nWARNING: distributed and local repairs differ")
 	}

@@ -11,12 +11,14 @@ import (
 // FigDistributed measures the coordinator/worker subsystem against local
 // partitioned diagnosis on the independent-cluster workloads: the same
 // partition plan, but every subproblem serialized and shipped to a
-// loopback-TCP worker fleet instead of the in-process pool. The
-// distributed series must match the local series' Resolved outcome
-// exactly (the coordinator merges through the same verification path);
-// the wall-clock difference is the wire cost — negligible against MILP
-// solve time on real partitions, which is the point: sharding is a
-// transport problem.
+// loopback-TCP worker fleet instead of the in-process pool — once over
+// the historical dial-per-job transport (dial-2) and once over
+// persistent multiplexed connections with streamed results (mux-2).
+// Every series must match the local series' Resolved outcome exactly
+// (the coordinator merges through the same verification path); the
+// dial-vs-mux gap is the per-job connection setup the mux protocol
+// deletes, which grows with the cluster count since every partition is
+// one job.
 func (r *Runner) FigDistributed() (*Table, error) {
 	var clusterCounts []int
 	var rowsPer, queriesPer int
@@ -31,7 +33,8 @@ func (r *Runner) FigDistributed() (*Table, error) {
 	t := &Table{ID: "distributed", Title: "distributed diagnosis: local partitioned vs loopback worker fleet",
 		XLabel: "clusters",
 		Caption: fmt.Sprintf("rows/cluster=%d queries/cluster=%d; one corrupted query per cluster; "+
-			"dist-2 ships every partition to one of 2 qfix-worker processes (loopback TCP)",
+			"dial-2 dials one of 2 qfix-worker processes per job (loopback TCP); "+
+			"mux-2 multiplexes jobs over one persistent connection per worker, streaming results",
 			rowsPer, queriesPer)}
 
 	// Two real workers on loopback: the full serialize → TCP → solve →
@@ -45,9 +48,11 @@ func (r *Runner) FigDistributed() (*Table, error) {
 	series := []struct {
 		name string
 		dist bool
+		mux  bool
 	}{
-		{"local-4", false},
-		{"dist-2", true},
+		{"local-4", false, false},
+		{"dial-2", true, false},
+		{"mux-2", true, true},
 	}
 	for _, nc := range clusterCounts {
 		for _, s := range series {
@@ -59,7 +64,7 @@ func (r *Runner) FigDistributed() (*Table, error) {
 			}
 			var coord *dist.Coordinator
 			if s.dist {
-				coord = dist.Connect(dist.Config{}, workers...)
+				coord = dist.Connect(dist.Config{Mux: s.mux}, workers...)
 				opts.PartitionSolver = coord
 			}
 			var pts []point
@@ -111,15 +116,20 @@ func startLoopbackWorkers(n int) (addrs []string, stop func(), err error) {
 	return addrs, stop, nil
 }
 
-// distributedNote reports how much of the work actually went remote.
+// distributedNote reports how much of the work actually went remote,
+// and how much of that streamed back over persistent mux connections.
 func distributedNote(pts []point) string {
-	remote, parts := 0, 0
+	remote, parts, streamed := 0, 0, 0
 	for _, p := range pts {
 		remote += p.stats.RemoteJobs
 		parts += p.stats.Partitions
+		streamed += p.stats.StreamedResults
 	}
 	if parts == 0 {
 		return ""
+	}
+	if streamed > 0 {
+		return fmt.Sprintf("remote=%d/%d jobs, %d streamed", remote, parts, streamed)
 	}
 	return fmt.Sprintf("remote=%d/%d jobs", remote, parts)
 }

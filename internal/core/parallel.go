@@ -138,6 +138,7 @@ func (d *diagnoser) mergeStats(st Stats) {
 	d.stats.SolveTime += st.SolveTime
 	d.stats.PlanPasses += st.PlanPasses
 	d.stats.RemoteJobs += st.RemoteJobs
+	d.stats.StreamedResults += st.StreamedResults
 	d.stats.ImpactCacheHits += st.ImpactCacheHits
 	d.stats.ImpactCacheExtends += st.ImpactCacheExtends
 	d.stats.WorkerCacheHits += st.WorkerCacheHits

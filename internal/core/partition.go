@@ -26,6 +26,47 @@ import (
 type partition struct {
 	complaintIdx []int // indices into the diagnoser's complaint slice
 	candidates   []int // log indices, sorted ascending
+	// size estimates the partition's MILP as rows × candidate queries ×
+	// complaints — the largest-first dispatch key. It only needs to
+	// rank partitions of one plan against each other, so the shared
+	// rows factor stays in for intuition but never changes the order.
+	size int
+}
+
+// partitionSize estimates one partition's MILP size. Each factor is
+// floored at 1 so degenerate partitions (orphan complaints with no
+// candidate queries) still rank deterministically instead of collapsing
+// to zero.
+func partitionSize(rows, candidates, complaints int) int {
+	if rows < 1 {
+		rows = 1
+	}
+	if candidates < 1 {
+		candidates = 1
+	}
+	if complaints < 1 {
+		complaints = 1
+	}
+	return rows * candidates * complaints
+}
+
+// largestFirst returns the dispatch order that starts the biggest
+// partitions first, shortening the critical path: with more partitions
+// than pool slots, round-robin start order can leave the one huge MILP
+// at the back of the queue, making wall-clock ≈ queue wait + its solve.
+// Ties keep index order (stable sort), so the order — and therefore the
+// scheduler's start sequence — is deterministic for a given plan.
+// Result adjudication stays in submission (index) order regardless; see
+// scheduleOrder.
+func largestFirst(parts []partition) []int {
+	order := make([]int, len(parts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return parts[order[a]].size > parts[order[b]].size
+	})
+	return order
 }
 
 // interactionSets computes, for each complaint, the set of global
@@ -146,6 +187,10 @@ func planPartitions(complaints []Complaint, full []query.AttrSet,
 		parts[0].complaintIdx = append(orphans, parts[0].complaintIdx...)
 		sort.Ints(parts[0].complaintIdx)
 	}
+	rows := len(dirtyVals)
+	for i := range parts {
+		parts[i].size = partitionSize(rows, len(parts[i].candidates), len(parts[i].complaintIdx))
+	}
 	return parts
 }
 
@@ -168,11 +213,15 @@ func (d *diagnoser) partitioned() (*Repair, bool, error) {
 }
 
 // solvePartitions runs every partition as an independent sub-diagnosis
-// on the shared scheduler with Options.Partition workers. Each
+// on the shared scheduler with Options.Partition workers, started
+// largest-first (by the planner's size estimate) so the biggest MILP
+// never sits at the back of the queue defining the critical path. Each
 // sub-diagnosis sees the full log and initial state but only its
 // partition's complaints, with repair candidates pinned to the
 // partition's candidate set; inner parallelism is disabled so the
-// concurrency budget is spent at the partition level.
+// concurrency budget is spent at the partition level. Results are still
+// adjudicated in plan (index) order, so the chosen repair is
+// independent of the start order.
 //
 // With Options.PartitionSolver set, each partition is packaged as a
 // self-contained Subproblem and dispatched through the hook (the
@@ -191,7 +240,7 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 		rep *Repair
 		err error
 	}
-	results, wait := schedule(d.opt.Partition, len(parts), func(i int) outcome {
+	results, wait := scheduleOrder(d.opt.Partition, len(parts), largestFirst(parts), func(i int) outcome {
 		o := sub
 		if !d.deadline.IsZero() {
 			remain := time.Until(d.deadline)
@@ -345,6 +394,7 @@ func (d *diagnoser) resolveConflicts(parts []partition, reps []*Repair, conflict
 		}
 		sort.Ints(u.complaintIdx)
 		u.candidates = cands.Sorted()
+		u.size = partitionSize(len(d.dirtyVals), len(u.candidates), len(u.complaintIdx))
 		resolve = append(resolve, len(newParts))
 		newParts = append(newParts, u)
 		newReps = append(newReps, nil)

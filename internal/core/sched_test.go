@@ -1,0 +1,109 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// With a single pool worker the start sequence is exactly the feed
+// order, so the explicit order is observable deterministically.
+func TestScheduleOrderStartsJobsInGivenOrder(t *testing.T) {
+	order := []int{3, 1, 0, 2}
+	var mu sync.Mutex
+	var started []int
+	results, wait := scheduleOrder(1, 4, order, func(i int) int {
+		mu.Lock()
+		started = append(started, i)
+		mu.Unlock()
+		return i * i
+	})
+	wait()
+	if !reflect.DeepEqual(started, order) {
+		t.Errorf("start order = %v, want %v", started, order)
+	}
+	// Adjudication stays in submission (index) order regardless of the
+	// start order: results[i] always carries job i's result.
+	for i := 0; i < 4; i++ {
+		if got := <-results[i]; got != i*i {
+			t.Errorf("results[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+}
+
+// Nil order is the identity: the legacy schedule contract.
+func TestScheduleIdentityOrder(t *testing.T) {
+	var mu sync.Mutex
+	var started []int
+	results, wait := schedule(1, 5, func(i int) int {
+		mu.Lock()
+		started = append(started, i)
+		mu.Unlock()
+		return i
+	})
+	wait()
+	if !reflect.DeepEqual(started, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("start order = %v, want identity", started)
+	}
+	for i := 0; i < 5; i++ {
+		if got := <-results[i]; got != i {
+			t.Errorf("results[%d] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+// Every job must deliver exactly once even when the pool is wider than
+// the job list or bounded below it.
+func TestScheduleDeliversAllJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		results, wait := schedule(workers, 7, func(i int) int { return i + 1 })
+		wait()
+		for i := 0; i < 7; i++ {
+			if got := <-results[i]; got != i+1 {
+				t.Errorf("workers=%d: results[%d] = %d, want %d", workers, i, got, i+1)
+			}
+		}
+	}
+}
+
+func TestLargestFirstOrder(t *testing.T) {
+	parts := []partition{{size: 5}, {size: 9}, {size: 5}, {size: 20}, {size: 1}}
+	want := []int{3, 1, 0, 2, 4} // ties (indices 0 and 2) keep index order
+	if got := largestFirst(parts); !reflect.DeepEqual(got, want) {
+		t.Errorf("largestFirst = %v, want %v", got, want)
+	}
+	if got := largestFirst(nil); len(got) != 0 {
+		t.Errorf("largestFirst(nil) = %v, want empty", got)
+	}
+}
+
+func TestPartitionSizeFloorsDegenerateFactors(t *testing.T) {
+	if got := partitionSize(0, 0, 0); got != 1 {
+		t.Errorf("partitionSize(0,0,0) = %d, want 1", got)
+	}
+	if got := partitionSize(10, 3, 2); got != 60 {
+		t.Errorf("partitionSize(10,3,2) = %d, want 60", got)
+	}
+	// An orphan-only partition (no candidates) still ranks below a real
+	// one over the same rows.
+	if partitionSize(10, 0, 1) >= partitionSize(10, 2, 1) {
+		t.Error("degenerate partition does not rank below a populated one")
+	}
+}
+
+// planPartitions must stamp every partition with a positive size
+// estimate consistent with the rows × candidates × complaints formula.
+func TestPlanPartitionsSizes(t *testing.T) {
+	d0, dirty, _, complaints := clusterWorkload(t, 3, 4)
+	parts := planFor(t, d0, dirty, complaints, nil)
+	if len(parts) != 3 {
+		t.Fatalf("planned %d partitions, want 3", len(parts))
+	}
+	rows := d0.Len() // the cluster workload neither inserts nor deletes
+	for i, p := range parts {
+		want := partitionSize(rows, len(p.candidates), len(p.complaintIdx))
+		if p.size != want || p.size <= 0 {
+			t.Errorf("partition %d: size = %d, want %d (>0)", i, p.size, want)
+		}
+	}
+}

@@ -112,6 +112,14 @@ type Options struct {
 	// PartitionSolver. Kept here so Options stays the single
 	// configuration surface.
 	Workers []string
+	// MuxWorkers makes the Workers coordinator keep one persistent
+	// multiplexed connection per worker (wire v3) instead of dialing a
+	// fresh connection per job: concurrent partition jobs share the
+	// connection and results stream back as each solve lands
+	// (Stats.StreamedResults). Workers built one protocol generation
+	// back are negotiated down to the dial-per-job path automatically.
+	// Like Workers, opaque to the core engine.
+	MuxWorkers bool
 
 	// ImpactCache, when non-nil, caches FullImpact closures across
 	// diagnoses keyed by a digest of the log (impactcache.go). Repeat
@@ -215,6 +223,11 @@ type Stats struct {
 	// (via Options.PartitionSolver / internal/dist). Jobs that fell back
 	// to the local engine are not counted.
 	RemoteJobs int
+	// StreamedResults counts the subset of RemoteJobs whose result
+	// streamed back over a persistent multiplexed worker connection
+	// (Options.MuxWorkers, wire v3) — written by the worker the moment
+	// the solve landed rather than over a per-job dialed connection.
+	StreamedResults int
 	// ImpactCacheHits counts planning passes that reused a cached
 	// FullImpact closure (Options.ImpactCache) instead of computing one
 	// from scratch — exact-digest reuse and prefix extension both

@@ -28,6 +28,14 @@ type Config struct {
 	// retries; zero picks one retry per remaining worker, capped at
 	// len(workers)-1.
 	Retries int
+	// Mux keeps one persistent multiplexed connection per worker (wire
+	// v3, MuxTransport) instead of dialing a fresh connection per job:
+	// concurrent jobs share the connection, results stream back as each
+	// solve lands (Stats.StreamedResults), and workers still speaking
+	// wire v2 are negotiated down to the dial-per-job path on their
+	// first frame. Only Connect consults it; explicit transports passed
+	// to NewCoordinator choose for themselves.
+	Mux bool
 	// Logf, when set, receives one line per dispatch failure/fallback.
 	Logf func(format string, args ...any)
 }
@@ -43,7 +51,12 @@ const DefaultJobTimeout = 5 * time.Minute
 // subproblem through it. Planning, merging, conflict resolution, and
 // replay verification all stay in the engine — the coordinator is purely
 // a dispatch layer with retry and local fallback, so a diagnosis never
-// loses an instance the local engine can solve.
+// loses an instance the local engine can solve. The engine's scheduler
+// starts partitions largest-first (see core's planPartitions size
+// estimate), so the coordinator ships the biggest MILPs to the fleet
+// first and the critical path is not a huge partition stuck at the back
+// of the queue; with Config.Mux the per-partition results stream back
+// over persistent connections as each solve lands.
 type Coordinator struct {
 	cfg        Config
 	transports []Transport
@@ -83,12 +96,17 @@ func NewCoordinator(cfg Config, transports ...Transport) *Coordinator {
 	return &Coordinator{cfg: cfg, transports: transports}
 }
 
-// Connect builds a coordinator with one TCP transport per worker
-// address.
+// Connect builds a coordinator with one transport per worker address:
+// persistent multiplexed connections with cfg.Mux, one dialed
+// connection per job otherwise.
 func Connect(cfg Config, workers ...string) *Coordinator {
 	ts := make([]Transport, len(workers))
 	for i, addr := range workers {
-		ts[i] = Dial(addr)
+		if cfg.Mux {
+			ts[i] = DialMux(addr)
+		} else {
+			ts[i] = Dial(addr)
+		}
 	}
 	return NewCoordinator(cfg, ts...)
 }
@@ -163,8 +181,11 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 	}
 	// Advance the shared round-robin cursor once per job, then walk
 	// consecutive transports, so retries always land on a different
-	// worker than the one that just failed.
-	start := int(c.next.Add(1) - 1)
+	// worker than the one that just failed. The cursor is reduced
+	// modulo the fleet size while still unsigned: a raw int conversion
+	// goes negative when the uint64 counter wraps, and a negative
+	// modulo index would panic.
+	start := int((c.next.Add(1) - 1) % uint64(len(c.transports)))
 	for a := 0; a < attempts; a++ {
 		t := c.transports[(start+a)%len(c.transports)]
 		timeout := c.cfg.JobTimeout
@@ -175,8 +196,30 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 			}
 			timeout = attemptTimeout(c.cfg.JobTimeout, remain, attempts-a)
 		}
+		// Ship the attempt with its solve budget clamped to the attempt
+		// window (minus the wire slack, floored at the window itself for
+		// windows within one slack): wire v3 has no cancel frame, so
+		// without the clamp a worker keeps solving — pinning one of its
+		// MaxInflight slots — long after this coordinator timed out and
+		// moved on. The shallow copy leaves the shared job (and its
+		// D0/log slices, which it aliases) untouched for later attempts.
+		budget := int64(timeout - transportSlack)
+		if budget <= 0 {
+			budget = int64(timeout)
+		}
+		attempt := *job
+		if o := job.Options; o.TotalTimeLimitNS <= 0 || o.TotalTimeLimitNS > budget {
+			o.TotalTimeLimitNS = budget
+			attempt.Options = o
+		}
+		// The attempt TTL additionally lets the worker refuse the
+		// attempt if it only DEQUEUES past the window (the budget above
+		// bounds solve time from solve start, so it can't cover the
+		// admission-queue wait, which the worker measures on its own
+		// clock from frame arrival).
+		attempt.AttemptTTLNS = int64(timeout)
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		res, err := t.Do(ctx, job)
+		res, err := t.Do(ctx, &attempt)
 		cancel()
 		if err != nil {
 			c.logf("dist: job %d on %s failed (attempt %d/%d): %v",
@@ -220,8 +263,14 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 // worker enforces the solve budget itself); the result never exceeds
 // JobTimeout, nor what is left of the budget plus slack. Budgets within
 // a few transportSlacks are degenerate: the slack floor dominates and
-// the reserve is best-effort.
+// the reserve is best-effort. attemptsLeft below 1 cannot come from
+// dispatch (it always has the current attempt left); it is clamped to 1
+// defensively so the local-fallback reserve survives a miscounting
+// caller rather than collapsing to zero.
 func attemptTimeout(jobTimeout, remain time.Duration, attemptsLeft int) time.Duration {
+	if attemptsLeft < 1 {
+		attemptsLeft = 1
+	}
 	timeout := jobTimeout
 	if share := remain/time.Duration(attemptsLeft+1) + transportSlack; share < timeout {
 		timeout = share
@@ -316,10 +365,13 @@ func (c *Coordinator) Diagnose(d0 *relation.Table, log []query.Query,
 // DiagnoseWorkers runs one diagnosis with a throwaway coordinator over
 // the given worker addresses — the Options.Workers bootstrap shared by
 // qfix.Diagnose and histstore.Store.Diagnose, kept here so every entry
-// point configures the fleet identically.
+// point configures the fleet identically. Options.MuxWorkers selects
+// persistent multiplexed connections (note the connections then live
+// only for this one diagnosis; callers that diagnose repeatedly should
+// hold a Connect'ed coordinator instead to amortize them).
 func DiagnoseWorkers(workers []string, d0 *relation.Table, log []query.Query,
 	complaints []core.Complaint, opt core.Options) (*core.Repair, error) {
-	coord := Connect(Config{}, workers...)
+	coord := Connect(Config{Mux: opt.MuxWorkers}, workers...)
 	defer coord.Close()
 	return coord.Diagnose(d0, log, complaints, opt)
 }

@@ -1,0 +1,382 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Mux reconnect backoff: after a dial failure or broken connection the
+// transport waits before re-dialing the persistent connection —
+// exponential from muxBackoffBase, capped at muxBackoffMax. Jobs that
+// arrive while the persistent connection is down are not delayed and
+// not lost: they fall back to one dialed connection per job, so a
+// recovering worker keeps serving the fleet while the mux link heals.
+const (
+	muxBackoffBase = 250 * time.Millisecond
+	muxBackoffMax  = 10 * time.Second
+)
+
+// muxWriteTimeout bounds a frame write when the caller's context
+// carries no deadline (the coordinator always sets one; this guards
+// direct users of the transport). A frame normally lands in the socket
+// buffer in microseconds — a write this slow means the worker stopped
+// draining its receive window, and without some deadline the write
+// would block forever holding writeMu, wedging the transport.
+const muxWriteTimeout = time.Minute
+
+// errMuxDown marks a job that never reached the persistent connection
+// (dial failed, backoff in force, or transport closed): the attempt is
+// still fresh and may be retried on the per-job path.
+var errMuxDown = errors.New("dist: persistent connection unavailable")
+
+// MuxTransport keeps one long-lived connection to a worker and
+// multiplexes concurrent jobs over it (wire v3): each frame carries its
+// job ID, a single reader goroutine demultiplexes result frames to the
+// in-flight callers as the worker streams them back — possibly out of
+// submission order — and the connection persists across jobs and
+// diagnoses, so the per-job dial/teardown of TCPTransport disappears
+// from the critical path.
+//
+// Failure semantics preserve the coordinator's no-lost-instances
+// guarantee:
+//
+//   - a broken connection fails every in-flight job with a transport
+//     error (the coordinator retries each on another worker and
+//     ultimately solves locally) and arms a reconnect backoff;
+//   - while the persistent connection is down, jobs fall back to
+//     dial-per-job against the same worker instead of erroring, so a
+//     restarted worker serves again immediately and the mux link is
+//     re-dialed once the backoff expires;
+//   - a worker speaking the previous protocol generation (wire v2) is
+//     detected on its first rejected frame and served one dialed v2
+//     connection per job from then on, the rejected job retried
+//     immediately.
+type MuxTransport struct {
+	addr    string
+	dialer  net.Dialer
+	oneShot *TCPTransport // dial-per-job fallback and v2 legacy path
+
+	// writeMu serializes frame writes on the persistent connection. It
+	// is held only around Encode — never together with mu — so a write
+	// stalled on a wedged worker's receive window cannot block the read
+	// loop's demultiplexing or other jobs' state transitions. Sibling
+	// writers do queue behind the stall until its deadline tears the
+	// connection down (failing the in-flight jobs over to the retry
+	// path) — a wedged worker costs its connection, not the transport.
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	conn     net.Conn
+	pending  map[uint64]chan *Result
+	gen      uint64        // connection generation; guards stale teardowns
+	dialing  chan struct{} // non-nil while a dial is in flight; closed when it settles
+	failures int           // consecutive connection failures (drives backoff)
+	nextDial time.Time     // earliest next persistent-connection dial
+	closed   bool
+}
+
+// DialMux returns a persistent multiplexed transport for the worker at
+// addr ("host:port"). No connection is made until the first job.
+func DialMux(addr string) *MuxTransport {
+	return &MuxTransport{
+		addr:    addr,
+		oneShot: Dial(addr),
+		pending: make(map[uint64]chan *Result),
+	}
+}
+
+// Addr implements Transport.
+func (t *MuxTransport) Addr() string { return t.addr }
+
+// Close implements Transport: it tears down the persistent connection,
+// failing any in-flight jobs.
+func (t *MuxTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.teardownLocked(t.gen)
+	t.mu.Unlock()
+	return t.oneShot.Close()
+}
+
+// Do implements Transport.
+func (t *MuxTransport) Do(ctx context.Context, job *Job) (*Result, error) {
+	if t.isLegacy() {
+		return t.oneShot.Do(ctx, job)
+	}
+	res, err := t.doMux(ctx, job)
+	if err != nil {
+		if !errors.Is(err, errMuxDown) {
+			return nil, err
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// errMuxDown caused by the caller's own expired context
+			// (e.g. it died queued behind a writer or awaiting the
+			// dial): a fallback dial would fail instantly and blame the
+			// dial — surface the real cause instead.
+			return nil, fmt.Errorf("dist: job %d on %s: %w", job.ID, t.addr, ctxErr)
+		}
+		// The persistent connection is down (dial failed or backing
+		// off). The job hasn't been sent anywhere yet, so spend the
+		// attempt on a per-job dial rather than failing it.
+		return t.oneShot.Do(ctx, job)
+	}
+	if versionRejected(job, res) {
+		// A v2 worker refusing our v3 frame: negotiate down for good
+		// and retry this job on the per-job path so the attempt isn't
+		// lost. TCPTransport re-stamps the job at v2 itself.
+		t.setLegacy()
+		return t.oneShot.Do(ctx, job)
+	}
+	// The result streamed back over the persistent connection; mark it
+	// so the engine's stats distinguish mux results from per-job dials.
+	res.Stats.StreamedResults = 1
+	return res, nil
+}
+
+// isLegacy reports whether the worker negotiated down to wire v2. The
+// one-shot transport's flag is the single source of truth (it also
+// flips it itself when a per-job frame is rejected), so the mux and
+// per-job paths can never disagree about the worker's generation.
+func (t *MuxTransport) isLegacy() bool {
+	return t.oneShot.legacy.Load()
+}
+
+// setLegacy flips the transport to the v2 per-job path permanently.
+// The persistent connection is deliberately NOT torn down here: sibling
+// jobs still in flight on it each receive their own rejection frame (a
+// v2 worker answers every frame, serially) and retry themselves on the
+// per-job path, so nothing is failed over to a local solve just because
+// a neighbor negotiated first. The idle connection dies with Close.
+func (t *MuxTransport) setLegacy() {
+	t.oneShot.legacy.Store(true)
+}
+
+// doMux runs one job over the persistent connection.
+func (t *MuxTransport) doMux(ctx context.Context, job *Job) (*Result, error) {
+	ch, err := t.submit(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("dist: %s: connection broke with job %d in flight",
+				t.addr, job.ID)
+		}
+		return res, nil
+	case <-ctx.Done():
+		t.forget(job.ID)
+		return nil, fmt.Errorf("dist: job %d on %s: %w", job.ID, t.addr, ctx.Err())
+	}
+}
+
+// submit registers the job and writes its frame on the persistent
+// connection, dialing first when necessary. It returns the 1-buffered
+// channel the reader will deliver the result on (closed if the
+// connection breaks). All network I/O happens outside the state mutex.
+func (t *MuxTransport) submit(ctx context.Context, job *Job) (chan *Result, error) {
+	// Resolve the connection first — a cheap mutex check when it is
+	// live, and an immediate errMuxDown during an outage/backoff window
+	// so the job falls back to dial-per-job without having marshaled a
+	// frame it would only throw away.
+	conn, err := t.connection(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Serialize the frame before taking any lock: the marshal (the full
+	// D0+log encoding) is the CPU-heavy part, and under writeMu it
+	// would run strictly one job at a time.
+	frame, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("dist: marshal job %d for %s: %w", job.ID, t.addr, err)
+	}
+	frame = append(frame, '\n')
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("dist: %s: %w", t.addr, net.ErrClosed)
+	}
+	if t.conn != conn {
+		// The connection broke between lookup and registration; the
+		// frame was never sent, so the attempt is still fresh.
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s connection replaced before send", errMuxDown, t.addr)
+	}
+	ch := make(chan *Result, 1)
+	t.pending[job.ID] = ch
+	t.mu.Unlock()
+
+	// Frame writes are serialized by writeMu alone; they land in the
+	// socket buffer or fail by the caller's deadline (which also covers
+	// a worker too wedged to drain its receive window).
+	t.writeMu.Lock()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// The deadline expired while queued behind another writer: no
+		// bytes of this frame were written, so the stream is intact —
+		// bow out without the collateral teardown a mid-write failure
+		// demands, leaving sibling in-flight jobs untouched.
+		t.writeMu.Unlock()
+		t.forget(job.ID)
+		return nil, fmt.Errorf("%w: job %d on %s: %v", errMuxDown, job.ID, t.addr, ctxErr)
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		dl = time.Now().Add(muxWriteTimeout) // never write unbounded under writeMu
+	}
+	conn.SetWriteDeadline(dl)
+	_, err = conn.Write(frame)
+	if err == nil {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	t.writeMu.Unlock()
+	if err != nil {
+		t.mu.Lock()
+		delete(t.pending, job.ID)
+		if t.conn == conn {
+			t.teardownLocked(t.gen)
+		}
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: send job %d to %s: %v", errMuxDown, job.ID, t.addr, err)
+	}
+	return ch, nil
+}
+
+// connection returns the live persistent connection, dialing it first
+// when down. The dial itself runs outside the state mutex, so the read
+// loop and other state transitions never block behind it; concurrent
+// callers wait for the in-flight dial (escaping on their own context)
+// and then share its outcome, so the first wave of jobs all ride the
+// one new connection. When the reconnect backoff is in force the caller
+// gets errMuxDown and its job proceeds over the per-job path instead.
+func (t *MuxTransport) connection(ctx context.Context) (net.Conn, error) {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("dist: %s: %w", t.addr, net.ErrClosed)
+		}
+		if t.conn != nil {
+			conn := t.conn
+			t.mu.Unlock()
+			return conn, nil
+		}
+		if t.dialing != nil {
+			settled := t.dialing
+			t.mu.Unlock()
+			select {
+			case <-settled:
+				continue // re-evaluate: conn live, backoff armed, or closed
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %s awaiting dial: %v", errMuxDown, t.addr, ctx.Err())
+			}
+		}
+		if time.Now().Before(t.nextDial) {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s reconnect backing off", errMuxDown, t.addr)
+		}
+		settled := make(chan struct{})
+		t.dialing = settled
+		t.mu.Unlock()
+
+		conn, err := t.dialer.DialContext(ctx, "tcp", t.addr)
+
+		t.mu.Lock()
+		t.dialing = nil
+		close(settled)
+		if err != nil {
+			// A dial aborted by the submitting job's own deadline says
+			// nothing about the worker's health; only a genuine dial
+			// failure arms the reconnect backoff.
+			if ctx.Err() == nil {
+				t.backoffLocked()
+			}
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: dial %s: %v", errMuxDown, t.addr, err)
+		}
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return nil, fmt.Errorf("dist: %s: %w", t.addr, net.ErrClosed)
+		}
+		t.conn = conn
+		t.gen++
+		go t.readLoop(conn, t.gen)
+		t.mu.Unlock()
+		return conn, nil
+	}
+}
+
+// readLoop demultiplexes result frames to their in-flight jobs until
+// the connection breaks, then fails whatever is still pending.
+func (t *MuxTransport) readLoop(conn net.Conn, gen uint64) {
+	dec := json.NewDecoder(conn)
+	for {
+		res := new(Result)
+		if err := dec.Decode(res); err != nil {
+			t.mu.Lock()
+			t.teardownLocked(gen)
+			t.mu.Unlock()
+			return
+		}
+		t.mu.Lock()
+		if t.gen != gen {
+			// A teardown already replaced this connection; stop reading.
+			t.mu.Unlock()
+			return
+		}
+		t.failures = 0 // live traffic proves the link healthy
+		ch, ok := t.pending[res.ID]
+		delete(t.pending, res.ID)
+		t.mu.Unlock()
+		if ok {
+			ch <- res // 1-buffered: never blocks, even if the caller timed out
+		}
+	}
+}
+
+// forget drops a pending job whose caller gave up (context expiry); a
+// late result frame for it is discarded by the read loop.
+func (t *MuxTransport) forget(id uint64) {
+	t.mu.Lock()
+	delete(t.pending, id)
+	t.mu.Unlock()
+}
+
+// teardownLocked closes the given connection generation, fails its
+// pending jobs, and arms the reconnect backoff. Stale generations
+// (already torn down, or replaced by a newer dial) are ignored, so a
+// racing read-loop exit cannot clobber a fresh connection.
+func (t *MuxTransport) teardownLocked(gen uint64) {
+	if gen != t.gen || t.conn == nil {
+		return
+	}
+	t.gen++
+	t.conn.Close()
+	t.conn = nil
+	for id, ch := range t.pending {
+		close(ch)
+		delete(t.pending, id)
+	}
+	t.backoffLocked()
+}
+
+// backoffLocked arms the next persistent-connection dial: exponential
+// in consecutive failures, capped.
+func (t *MuxTransport) backoffLocked() {
+	t.failures++
+	d := muxBackoffMax
+	if t.failures <= 6 {
+		if b := muxBackoffBase << (t.failures - 1); b < d {
+			d = b
+		}
+	}
+	t.nextDial = time.Now().Add(d)
+}
+
+var _ Transport = (*MuxTransport)(nil)

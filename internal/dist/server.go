@@ -1,24 +1,41 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 )
 
 // Server is the worker side of the protocol: it accepts connections,
-// reads jobs (newline-delimited JSON), solves each on the local engine,
-// and writes results. A connection may carry any number of jobs in
-// sequence; the coordinator's TCP transport uses one per job.
+// reads jobs (newline-delimited JSON), solves them on the local engine,
+// and writes results. A connection may carry any number of jobs; up to
+// MaxInflight jobs across the whole server solve concurrently and each
+// result is written the moment its solve lands — possibly out of
+// submission order, which is the wire-v3 contract (a mux coordinator
+// matches results to jobs by ID, and v2 coordinators only ever have one
+// job in flight per connection, so they observe the serial behavior
+// they expect).
 type Server struct {
 	// MaxTimeLimit, when positive, caps the per-solve and total time
 	// limits of incoming jobs — a fleet operator's guard against a
 	// coordinator requesting unbounded solves.
 	MaxTimeLimit time.Duration
+	// MaxInflight bounds how many jobs solve concurrently across the
+	// whole server — one shared pool, however many connections the
+	// jobs arrive on — so the operator's bound holds for mux
+	// coordinators, dial-per-job coordinators, and mixtures alike.
+	// Admission stops reading a connection's further frames until a
+	// slot frees. Zero picks runtime.GOMAXPROCS; negative forces one
+	// solve at a time server-wide (stricter than the pre-v3 serial
+	// loop, which was serial per connection but concurrent across
+	// connections).
+	MaxInflight int
 	// CacheSize bounds the decode cache: repeat jobs whose D0/log
 	// digests match a cached entry skip the wire decode and the
 	// planning closure (workercache.go). Zero picks
@@ -31,6 +48,7 @@ type Server struct {
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	cache  *workerCache
+	sem    chan struct{} // server-wide solve slots (MaxInflight)
 	closed bool
 }
 
@@ -60,7 +78,16 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		// Registration happens in the same critical section that checks
+		// for shutdown: a connection accepted just as Close runs would
+		// otherwise land in s.conns after Close's teardown iteration and
+		// never be closed.
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go s.handle(conn)
@@ -84,35 +111,101 @@ func (s *Server) Close() error {
 	return err
 }
 
+// handle serves one connection: a read loop admits jobs into the
+// server-wide solver pool, and results stream back over a per-
+// connection write lock as they land.
 func (s *Server) handle(conn net.Conn) {
+	var wg sync.WaitGroup
 	defer func() {
+		wg.Wait() // let in-flight solves write (or fail) before teardown
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	var writeMu sync.Mutex
+	sem := s.solveSem()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 	for {
-		var job Job
-		if err := dec.Decode(&job); err != nil {
+		job := new(Job)
+		if err := dec.Decode(job); err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("dist: %s: bad frame: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		start := time.Now()
-		s.capLimits(&job)
-		res := solveJob(&job, s.workerCache())
-		s.logf("dist: job %d from %s: complaints=%d resolved=%v cachehit=%d err=%q (%v)",
-			job.ID, conn.RemoteAddr(), len(job.Complaints), res.Resolved,
-			res.Stats.WorkerCacheHits, res.Err,
-			time.Since(start).Round(time.Millisecond))
-		if err := enc.Encode(res); err != nil {
-			s.logf("dist: %s: writing result %d: %v", conn.RemoteAddr(), job.ID, err)
-			return
-		}
+		// The attempt window anchors ON THIS CLOCK at the moment the
+		// frame was read, so the slot wait below counts against it
+		// without any cross-machine clock agreement; solveJob refuses
+		// the job if the window has closed by the time a slot frees.
+		// (Time a frame spent unread in the socket buffer is uncounted:
+		// the blocking read loop is deliberate backpressure, and the
+		// coordinator's write deadline bounds that side.)
+		arrival := time.Now()
+		sem <- struct{}{} // admission: at most MaxInflight concurrent solves
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx := context.Background()
+			if job.AttemptTTLNS > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx,
+					arrival.Add(time.Duration(job.AttemptTTLNS)))
+				defer cancel()
+			}
+			start := time.Now()
+			s.capLimits(job)
+			res := solveJob(ctx, job, s.workerCache())
+			s.logf("dist: job %d from %s: complaints=%d resolved=%v cachehit=%d err=%q (%v)",
+				job.ID, conn.RemoteAddr(), len(job.Complaints), res.Resolved,
+				res.Stats.WorkerCacheHits, res.Err,
+				time.Since(start).Round(time.Millisecond))
+			writeMu.Lock()
+			// Bound the write: a peer that stalls without closing the
+			// connection must cost its result, not wedge this solve
+			// slot forever — the slots are server-wide, so an unbounded
+			// write here would eventually starve every coordinator.
+			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+			err := enc.Encode(res)
+			if err == nil {
+				conn.SetWriteDeadline(time.Time{})
+			}
+			writeMu.Unlock()
+			if err != nil {
+				// Fail fast: a dropped result frame would otherwise leave
+				// the coordinator waiting out its full attempt timeout.
+				// Closing the connection breaks its read loop too, so the
+				// peer sees the failure promptly and retries elsewhere.
+				s.logf("dist: %s: writing result %d: %v", conn.RemoteAddr(), job.ID, err)
+				conn.Close()
+			}
+		}()
 	}
+}
+
+// serverWriteTimeout bounds one result-frame write. A frame normally
+// lands in the socket buffer instantly; a write this slow means the
+// coordinator stopped draining without closing the connection.
+const serverWriteTimeout = time.Minute
+
+// solveSem lazily builds the server-wide solver-slot semaphore sized
+// per MaxInflight.
+func (s *Server) solveSem() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sem == nil {
+		n := s.MaxInflight
+		switch {
+		case n < 0:
+			n = 1
+		case n == 0:
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.sem = make(chan struct{}, n)
+	}
+	return s.sem
 }
 
 // workerCache lazily builds the server's decode cache per CacheSize.

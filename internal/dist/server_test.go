@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lateConnListener reproduces the Accept/Close interleaving
+// deterministically: its Accept blocks holding a ready connection until
+// the test releases it, modeling a connection the accept loop had
+// already pulled off the OS queue when Close ran. The second Accept
+// reports the listener closed.
+type lateConnListener struct {
+	accepting chan struct{} // closed when Accept is first entered
+	release   chan struct{} // closed by the test after Server.Close returns
+	mu        sync.Mutex
+	conn      net.Conn
+	once      sync.Once
+}
+
+func (l *lateConnListener) Accept() (net.Conn, error) {
+	l.once.Do(func() { close(l.accepting) })
+	<-l.release
+	l.mu.Lock()
+	c := l.conn
+	l.conn = nil
+	l.mu.Unlock()
+	if c == nil {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+
+func (l *lateConnListener) Close() error   { return nil }
+func (l *lateConnListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// TestServerCloseClosesLateAcceptedConn is the Close teardown-race
+// regression: a connection returned by Accept concurrently with Close
+// used to be registered in s.conns after Close's teardown iteration and
+// stayed open (and served!) forever. Registration now shares the
+// critical section with the shutdown check, so the late connection is
+// closed immediately.
+func TestServerCloseClosesLateAcceptedConn(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	l := &lateConnListener{
+		accepting: make(chan struct{}),
+		release:   make(chan struct{}),
+		conn:      server,
+	}
+	srv := &Server{}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	<-l.accepting // Serve is inside Accept, "holding" the connection
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(l.release) // now Accept delivers the connection Close never saw
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+
+	// The late connection must have been closed, not handed to a live
+	// handler: its peer sees EOF instead of a blocked read.
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := client.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("late-accepted connection still open after Close: read err = %v, want EOF", err)
+	}
+}
+
+// TestServerSolveSemServerWide pins the MaxInflight contract: one
+// shared slot pool for the whole server (every connection draws from
+// it), sized MaxInflight, GOMAXPROCS when unset, serial when negative.
+func TestServerSolveSemServerWide(t *testing.T) {
+	s := &Server{MaxInflight: 3}
+	sem := s.solveSem()
+	if cap(sem) != 3 {
+		t.Errorf("cap(sem) = %d, want 3", cap(sem))
+	}
+	if s.solveSem() != sem {
+		t.Error("second connection got a different slot pool; the bound must be server-wide")
+	}
+	if got := cap((&Server{MaxInflight: -1}).solveSem()); got != 1 {
+		t.Errorf("negative MaxInflight: cap = %d, want 1 (serial)", got)
+	}
+	if got := cap((&Server{}).solveSem()); got < 1 {
+		t.Errorf("default MaxInflight: cap = %d, want >= 1", got)
+	}
+}
+
+// TestServerCloseAcceptRace hammers the same window under the race
+// detector: clients dial while the server shuts down. Run with -race
+// (CI does); without the registration fix the conns-map access from
+// Serve races Close's teardown iteration.
+func TestServerCloseAcceptRace(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &Server{}
+		serveDone := make(chan struct{})
+		go func() { srv.Serve(l); close(serveDone) }()
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := net.Dial("tcp", l.Addr().String())
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+
+		time.Sleep(time.Millisecond)
+		srv.Close()
+		close(stop)
+		wg.Wait()
+		<-serveDone
+	}
+}

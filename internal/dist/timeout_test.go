@@ -32,6 +32,20 @@ func TestAttemptTimeoutSharesBudget(t *testing.T) {
 		// wire slack (the slack floor; proportionality is best-effort).
 		{"spent budget", DefaultJobTimeout, time.Second, 1,
 			time.Second/2 + transportSlack},
+		// Degenerate budgets within a few transportSlacks: the slack
+		// floor dominates the share, but the attempt still never gets
+		// more than remain+slack.
+		{"degenerate one-slack budget", DefaultJobTimeout, transportSlack, 2,
+			transportSlack/3 + transportSlack},
+		{"degenerate two-slack budget last attempt", DefaultJobTimeout, 2 * transportSlack, 1,
+			transportSlack + transportSlack},
+		{"degenerate three-slack budget", DefaultJobTimeout, 3 * transportSlack, 2,
+			transportSlack + transportSlack},
+		// attemptsLeft=0 cannot come from dispatch; the guard treats it
+		// as 1 so the fallback reserve survives instead of the share
+		// collapsing to the whole remaining budget.
+		{"attemptsLeft=0 guarded", DefaultJobTimeout, 40 * time.Second, 0,
+			20*time.Second + transportSlack},
 	}
 	for _, c := range cases {
 		got := attemptTimeout(c.jobTimeout, c.remain, c.attemptsLeft)

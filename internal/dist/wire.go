@@ -10,10 +10,12 @@
 // or times out mid-solve falls back to the local engine — distribution
 // never loses an instance local diagnosis can solve.
 //
-// Two transports implement the Transport interface: InProc (the
+// Three transports implement the Transport interface: InProc (the
 // degenerate zero-network case, used by tests and as a harness for the
-// codec round trip) and TCP (newline-delimited JSON frames, one
-// connection per job, deadline-bounded).
+// codec round trip), TCP (newline-delimited JSON frames, one connection
+// per job, deadline-bounded), and Mux (one persistent connection per
+// worker carrying many concurrent jobs, results demultiplexed by job ID
+// as they stream back).
 package dist
 
 import (
@@ -25,14 +27,27 @@ import (
 	"repro/internal/relation"
 )
 
-// WireVersion is the protocol version. A worker rejects jobs whose
-// Version differs — coordinator and worker binaries must be built from
-// compatible trees. Bump on any incompatible change to the frame types
-// below.
+// WireVersion is the current protocol version; MinWireVersion is the
+// oldest version this binary still speaks. A worker rejects jobs
+// outside [MinWireVersion, WireVersion] and answers in the job's own
+// dialect (the result echoes the job's version), so mixed fleets keep
+// working across one protocol generation. Bump WireVersion on any
+// incompatible change to the frame types below; raise MinWireVersion
+// only when dropping a generation is acceptable.
 //
 // v2 added the D0/log digests (worker-side decode caching) and the
-// cache-hit counters carried back in Result.Stats.
-const WireVersion = 2
+// cache-hit counters carried back in Result.Stats. v3 is the
+// multiplexed persistent-connection protocol: a connection may carry
+// any number of concurrent in-flight jobs, and the worker streams each
+// result frame as its solve lands — possibly out of submission order,
+// matched to its job by ID. The frame shapes are unchanged from v2;
+// the version tags the connection discipline. A v3 coordinator that
+// sees its first frame rejected by a v2 worker negotiates down and
+// serves that worker one dialed connection per job, exactly as v2 did.
+const (
+	WireVersion    = 3
+	MinWireVersion = 2
+)
 
 // Job is one partition subproblem on the wire. It is self-contained:
 // the worker needs nothing but the job to solve it.
@@ -44,14 +59,28 @@ const WireVersion = 2
 // disable caching for the job; they are an optimization handle, never
 // load-bearing for correctness (the full state still rides along).
 type Job struct {
-	Version    int              `json:"version"`
-	ID         uint64           `json:"id"`
-	D0Digest   uint64           `json:"d0_digest,omitempty"`
-	LogDigest  uint64           `json:"log_digest,omitempty"`
-	D0         wireTable        `json:"d0"`
-	Log        []wireQuery      `json:"log"`
-	Complaints []core.Complaint `json:"complaints"`
-	Options    wireOptions      `json:"options"`
+	Version   int    `json:"version"`
+	ID        uint64 `json:"id"`
+	D0Digest  uint64 `json:"d0_digest,omitempty"`
+	LogDigest uint64 `json:"log_digest,omitempty"`
+	// AttemptTTLNS, when nonzero, is the dispatching attempt's total
+	// window (nanoseconds, relative — deliberately not an absolute
+	// timestamp, so no cross-machine clock agreement is needed). The
+	// server anchors it, on its own clock, at the moment the frame is
+	// read off the connection: a job that then waits for a MaxInflight
+	// slot past its window — its coordinator long gone — is refused
+	// instead of solved as dead work, and a live one has its solve
+	// budget clamped to what is left. Time spent BEFORE the read (in
+	// socket buffers while the saturated worker isn't reading) is
+	// uncounted by design — the blocking read loop is the backpressure
+	// that keeps unread frames on the coordinator's side, bounded by
+	// its write deadline. Advisory: correctness never depends on it,
+	// and v2 workers ignore the field.
+	AttemptTTLNS int64            `json:"attempt_ttl_ns,omitempty"`
+	D0           wireTable        `json:"d0"`
+	Log          []wireQuery      `json:"log"`
+	Complaints   []core.Complaint `json:"complaints"`
+	Options      wireOptions      `json:"options"`
 }
 
 // Result is a worker's answer. Err carries solver-level failures
@@ -377,11 +406,12 @@ func EncodeJob(id uint64, sub core.Subproblem) (*Job, error) {
 }
 
 // DecodeJob reconstructs the subproblem, rejecting incompatible protocol
-// versions.
+// versions (anything outside [MinWireVersion, WireVersion]).
 func DecodeJob(j *Job) (core.Subproblem, error) {
-	if j.Version != WireVersion {
+	if j.Version < MinWireVersion || j.Version > WireVersion {
 		return core.Subproblem{}, fmt.Errorf(
-			"dist: protocol version mismatch: job v%d, worker v%d", j.Version, WireVersion)
+			"dist: protocol version mismatch: job v%d, worker speaks v%d-v%d",
+			j.Version, MinWireVersion, WireVersion)
 	}
 	d0, err := decodeTable(j.D0)
 	if err != nil {
@@ -419,11 +449,14 @@ func EncodeResult(id uint64, rep *core.Repair, solveErr error) (*Result, error) 
 }
 
 // DecodeResult reconstructs the repair, rejecting incompatible protocol
-// versions and propagating worker-side solver errors.
+// versions and propagating worker-side solver errors. Results one
+// generation back (MinWireVersion) are accepted: a v2 worker answering
+// the per-job compatibility path is a valid peer, not skew.
 func DecodeResult(res *Result) (*core.Repair, error) {
-	if res.Version != WireVersion {
+	if res.Version < MinWireVersion || res.Version > WireVersion {
 		return nil, fmt.Errorf(
-			"dist: protocol version mismatch: result v%d, coordinator v%d", res.Version, WireVersion)
+			"dist: protocol version mismatch: result v%d, coordinator speaks v%d-v%d",
+			res.Version, MinWireVersion, WireVersion)
 	}
 	if res.Err != "" {
 		return nil, fmt.Errorf("dist: worker: %s", res.Err)
