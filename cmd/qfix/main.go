@@ -54,6 +54,7 @@ func main() {
 		noQuery   = flag.Bool("no-query-slicing", false, "disable query slicing")
 		attrSlice = flag.Bool("attr-slicing", false, "enable attribute slicing")
 		single    = flag.Bool("single", false, "assume a single corrupted query (strict candidate filter)")
+		warm      = flag.Bool("warm", false, "warm-start MILP solves from prior solutions (refinement rounds, sibling partitions, and -repeat/-hist runs via a solution cache); repairs stay identical to cold solves")
 		limit     = flag.Duration("timelimit", 60*time.Second, "per-solve time limit")
 	)
 	flag.Parse()
@@ -108,6 +109,7 @@ func main() {
 		QuerySlicing:     !*noQuery,
 		AttrSlicing:      *attrSlice,
 		SingleCorruption: *single,
+		WarmStart:        *warm,
 		TimeLimit:        *limit,
 	}
 	if *workers != "" {
@@ -134,8 +136,11 @@ func main() {
 		*repeat = 1
 	}
 	if store == nil && *repeat > 1 {
-		// The store brings its own cache; standalone repeats share one.
+		// The store brings its own caches; standalone repeats share one.
 		opts.ImpactCache = qfix.NewImpactCache(0)
+		if *warm {
+			opts.SolutionCache = qfix.NewSolutionCache(0)
+		}
 	}
 	var rep *qfix.Repair
 	var elapsed time.Duration
@@ -149,8 +154,9 @@ func main() {
 		fatalIf(err)
 		elapsed = time.Since(start)
 		if *repeat > 1 {
-			fmt.Printf("-- run %d/%d: %v (impact cache hits: %d)\n",
-				run, *repeat, elapsed.Round(time.Millisecond), rep.Stats.ImpactCacheHits)
+			fmt.Printf("-- run %d/%d: %v (impact cache hits: %d; warm seeds: %d, %d nodes)\n",
+				run, *repeat, elapsed.Round(time.Millisecond), rep.Stats.ImpactCacheHits,
+				rep.Stats.WarmSeeds, rep.Stats.Nodes)
 		}
 	}
 
@@ -158,6 +164,10 @@ func main() {
 	if rep.Stats.ImpactCacheHits > 0 {
 		fmt.Printf("-- impact cache: %d hits (%d incremental extends)\n",
 			rep.Stats.ImpactCacheHits, rep.Stats.ImpactCacheExtends)
+	}
+	if *warm {
+		fmt.Printf("-- warm starts: %d seeded solves (%d nodes, %d LP iterations total)\n",
+			rep.Stats.WarmSeeds, rep.Stats.Nodes, rep.Stats.LPIters)
 	}
 	fmt.Printf("-- complaints resolved: %v; repair distance: %.3f\n", rep.Resolved, rep.Distance)
 	if rep.Stats.Partitions > 0 {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/query"
@@ -86,9 +87,9 @@ func (r *Runner) FigPartition() (*Table, error) {
 	case Quick:
 		clusterCounts, rowsPer, queriesPer = []int{4, 8}, 5, 2
 	case Large:
-		clusterCounts, rowsPer, queriesPer = []int{8, 16, 32, 64}, 8, 3
+		clusterCounts, rowsPer, queriesPer = []int{8, 16, 32, 64, 128}, 8, 3
 	default:
-		clusterCounts, rowsPer, queriesPer = []int{4, 8, 16, 32}, 6, 3
+		clusterCounts, rowsPer, queriesPer = []int{4, 8, 16, 32, 64, 128}, 6, 3
 	}
 	// The joint Basic MILP reliably blows its solver budget beyond ~8
 	// clusters (every additional cluster multiplies the binary count);
@@ -119,6 +120,15 @@ func (r *Runner) FigPartition() (*Table, error) {
 				TupleSlicing: true,
 				QuerySlicing: true,
 				Partition:    s.partition,
+			}
+			if nc >= 64 {
+				// The partitioned series' total work grows linearly with
+				// the cluster count; the flat 4×TimeLimit default budget
+				// does not, and would truncate the 64/128-cluster points
+				// into "unresolved" on slower machines. Scale the budget
+				// with the sweep instead (solve work, not the ceiling,
+				// is what the figure measures).
+				opts.TotalTimeLimit = time.Duration(nc/8) * r.timeLimit()
 			}
 			var pts []point
 			for rep := 0; rep < r.reps(); rep++ {

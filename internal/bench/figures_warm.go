@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// FigWarmStart measures solver warm starts (Options.WarmStart). This is
+// no paper figure — it quantifies the ROADMAP's "solver warm starts
+// across partitions and incremental batches" item. Warm starts never
+// change the repair (the property tests pin byte-identity); this table
+// shows what they buy: admitted seeds (Stats.WarmSeeds) and the
+// branch-and-bound work they prune (Stats.Nodes / Stats.LPIters, in the
+// note column).
+//
+// Incremental series (x = log size, UPDATE-only workload, incremental +
+// tuple slicing so refinement rounds run):
+//
+//	inc-cold         plain diagnosis
+//	inc-warm         WarmStart on: refinement rounds seed from the
+//	                 step-1 repair they refine
+//	inc-warm-repeat  second diagnosis through a shared SolutionCache:
+//	                 every solve seeds from its prior solution + basis
+//
+// Partition series (x = clusters, the partition bench workload,
+// partition-parallel Basic):
+//
+//	part-cold         plain partitioned diagnosis
+//	part-warm-repeat  repeat partitioned diagnosis through a shared
+//	                  SolutionCache: each partition's solve seeds from
+//	                  its prior solution
+func (r *Runner) FigWarmStart() (*Table, error) {
+	var sizes []int
+	var clusterCounts []int
+	switch r.Scale {
+	case Quick:
+		sizes, clusterCounts = []int{30}, []int{8}
+	case Large:
+		sizes, clusterCounts = []int{80, 160}, []int{32, 64}
+	default:
+		sizes, clusterCounts = []int{60}, []int{32}
+	}
+
+	t := &Table{ID: "warmstart", Title: "solver warm starts: seeded branch-and-bound across batches, partitions, and repeat diagnoses",
+		XLabel: "size",
+		Caption: "inc series x = log size (UPDATE-only, one recent corruption); part series x = clusters " +
+			"(partition bench workload, one corrupted query per cluster); " +
+			"note shows mean branch-and-bound nodes / LP iterations / admitted warm seeds"}
+
+	incOpts := core.Options{Algorithm: core.Incremental, TupleSlicing: true, QuerySlicing: true}
+	for _, nq := range sizes {
+		var cold, warm, repeat []point
+		for rep := 0; rep < r.reps(); rep++ {
+			w, err := workload.Generate(workload.Config{
+				ND: 40, Na: 5, Nq: nq, Mix: workload.UpdateOnly,
+				Seed: r.Seed + int64(rep)*131 + int64(nq)})
+			if err != nil {
+				return nil, err
+			}
+			in, err := w.MakeInstance(nq * 3 / 4)
+			if err != nil {
+				return nil, err
+			}
+			cold = append(cold, r.measure(in, in.Complaints, incOpts))
+
+			wOpts := incOpts
+			wOpts.WarmStart = true
+			warm = append(warm, r.measure(in, in.Complaints, wOpts))
+
+			wOpts.SolutionCache = core.NewSolutionCache(0)
+			r.measure(in, in.Complaints, wOpts) // fill the cache
+			repeat = append(repeat, r.measure(in, in.Complaints, wOpts))
+		}
+		for _, s := range []struct {
+			name string
+			pts  []point
+		}{{"inc-cold", cold}, {"inc-warm", warm}, {"inc-warm-repeat", repeat}} {
+			ms, acc, ok := avg(s.pts)
+			t.Rows = append(t.Rows, Row{Series: s.name, X: fmt.Sprint(nq),
+				TimeMS: ms, Precision: acc.Precision, Recall: acc.Recall, F1: acc.F1, Solved: ok,
+				Note: warmNote(s.pts)})
+			r.logf("warmstart %s nq=%d: %.1fms %s", s.name, nq, ms, warmNote(s.pts))
+		}
+	}
+
+	partOpts := core.Options{Algorithm: core.Basic, TupleSlicing: true,
+		QuerySlicing: true, Partition: 4}
+	for _, nc := range clusterCounts {
+		var cold, repeat []point
+		for rep := 0; rep < r.reps(); rep++ {
+			w, corruptIdx, err := PartitionClusters(nc, 6, 3,
+				r.Seed+int64(rep)*353+int64(nc))
+			if err != nil {
+				return nil, err
+			}
+			in, err := w.MakeInstance(corruptIdx...)
+			if err != nil {
+				return nil, err
+			}
+			cold = append(cold, r.measure(in, in.Complaints, partOpts))
+
+			wOpts := partOpts
+			wOpts.WarmStart = true
+			wOpts.SolutionCache = core.NewSolutionCache(2 * nc)
+			r.measure(in, in.Complaints, wOpts) // fill the cache
+			repeat = append(repeat, r.measure(in, in.Complaints, wOpts))
+		}
+		for _, s := range []struct {
+			name string
+			pts  []point
+		}{{"part-cold", cold}, {"part-warm-repeat", repeat}} {
+			ms, acc, ok := avg(s.pts)
+			t.Rows = append(t.Rows, Row{Series: s.name, X: fmt.Sprint(nc),
+				TimeMS: ms, Precision: acc.Precision, Recall: acc.Recall, F1: acc.F1, Solved: ok,
+				Note: warmNote(s.pts)})
+			r.logf("warmstart %s clusters=%d: %.1fms %s", s.name, nc, ms, warmNote(s.pts))
+		}
+	}
+	return t, nil
+}
+
+// warmNote summarizes solver work and seed admissions across points.
+func warmNote(pts []point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	nodes, iters, seeds := 0, 0, 0
+	for _, p := range pts {
+		nodes += p.stats.Nodes
+		iters += p.stats.LPIters
+		seeds += p.stats.WarmSeeds
+	}
+	n := len(pts)
+	return fmt.Sprintf("nodes=%d lpiters=%d warmseeds=%d", nodes/n, iters/n, seeds/n)
+}

@@ -37,6 +37,9 @@ func Diagnose(d0 *relation.Table, log []query.Query, complaints []Complaint, opt
 		opt: opt, d0: d0, log: log, complaints: complaints,
 		width: width, dirtyFinal: dirtyFinal,
 	}
+	if opt.WarmStart {
+		d.seeds = newSeedBoard()
+	}
 	d.plan()
 	if opt.TotalTimeLimit > 0 {
 		d.deadline = time.Now().Add(opt.TotalTimeLimit)
@@ -74,6 +77,7 @@ type diagnoser struct {
 	width      int
 	dirtyFinal *relation.Table
 	deadline   time.Time
+	seeds      *seedBoard // warm-start seed sharing (nil unless WarmStart)
 
 	// planning products
 	candidates []int // repair candidates (query slicing or all)
@@ -205,15 +209,48 @@ func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft [
 			limit = remain
 		}
 	}
+	mopt := milp.Options{TimeLimit: limit, MaxNodes: d.opt.MaxNodes, ColdLP: d.opt.ColdLP}
+	var warmKey uint64
+	if d.opt.WarmStart {
+		t1 := time.Now()
+		if d.opt.SolutionCache != nil {
+			// The key digests D0, the log SQL, and the complaint set —
+			// only worth computing when there is a cache to consult.
+			warmKey = d.solveKey(baseLog, paramSet, soft)
+		}
+		d.seedSolve(res, warmKey, &mopt, st)
+		st.SolveTime += time.Since(t1)
+		if !d.deadline.IsZero() {
+			// The seed completion spent wall clock; re-clamp the main
+			// solve so seeding can never stretch the shared deadline.
+			remain := time.Until(d.deadline)
+			if remain <= 0 {
+				st.LastStatus = "total-time-limit"
+				return nil, false, nil
+			}
+			if remain < mopt.TimeLimit {
+				mopt.TimeLimit = remain
+			}
+		}
+	}
 	t1 := time.Now()
-	mres, vals := res.SolveOpts(milp.Options{
-		TimeLimit: limit, MaxNodes: d.opt.MaxNodes, ColdLP: d.opt.ColdLP})
+	mres, vals := res.SolveOpts(mopt)
 	st.SolveTime += time.Since(t1)
 	st.Nodes += mres.Nodes
 	st.LPIters += mres.LPIters
+	if mres.SeedUsed {
+		st.WarmSeeds++
+	}
 	st.LastStatus = mres.Status.String()
 	if !mres.HasSolution {
 		return nil, false, nil
+	}
+	if d.opt.WarmStart {
+		// Publish the accepted assignment for related solves (refinement
+		// rounds, sibling partitions) and cache the full solution and
+		// basis for repeat diagnoses of this exact history.
+		d.seeds.publish(res.Params, vals)
+		d.opt.SolutionCache.put(warmKey, res, mres)
 	}
 
 	repaired := query.CloneLog(baseLog)

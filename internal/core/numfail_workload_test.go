@@ -1,0 +1,85 @@
+// External test: regressions for the simplex feasibility-drift repair.
+// Two single-cluster subproblems of the partition bench workload used
+// to kill their whole diagnosis at the root node: the LP walked past a
+// bound over a sub-threshold ratio-test row (one big-M step of ~1e7
+// carried a basic binary to -0.0146), or steered into a basis the
+// refactorization declares singular — either way branch-and-bound saw
+// NumFail at node 1, reported "limit" with no incumbent, and the
+// partitioned diagnosis above it went unresolved. The repair loop in
+// simplex.optimize (refactorize → phase 1 → phase 2) plus the
+// feasibility-bounded ratio-test tie rule fix both; these instances pin
+// them solved.
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// clusterSubproblem rebuilds one cluster's complaint subset of the
+// partition bench workload (tuple IDs are rowsPer-per-cluster in
+// insertion order).
+func clusterSubproblem(t *testing.T, clusters, rowsPer, queriesPer int, seed int64, cluster int) (
+	*core.Repair, error) {
+	t.Helper()
+	w, corruptIdx, err := bench.PartitionClusters(clusters, rowsPer, queriesPer, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := w.MakeInstance(corruptIdx...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs []core.Complaint
+	for _, c := range in.Complaints {
+		if int((c.TupleID-1)/int64(rowsPer)) == cluster {
+			cs = append(cs, c)
+		}
+	}
+	if len(cs) == 0 {
+		t.Fatalf("setup: cluster %d raised no complaints", cluster)
+	}
+	return core.Diagnose(in.W.D0, in.Dirty, cs, core.Options{
+		Algorithm: core.Basic, TupleSlicing: true, QuerySlicing: true,
+		TimeLimit: 60 * time.Second})
+}
+
+// The bound-overshoot instance: before the repair loop, the root LP
+// reported Optimal with a basic binary at -0.0146, the final validity
+// gate turned that into NumFail, and the solve died at node 1.
+func TestSimplexDriftRepairUnsticksRootLP(t *testing.T) {
+	rep, err := clusterSubproblem(t, 64, 6, 3, 65, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Fatalf("cluster subproblem unresolved: status=%q nodes=%d",
+			rep.Stats.LastStatus, rep.Stats.Nodes)
+	}
+	if rep.Stats.Nodes <= 1 {
+		t.Fatalf("solve died at the root again: %+v", rep.Stats)
+	}
+}
+
+// The singular-basis instance: before the ratio-test tie fix, pricing
+// steered into sub-1e-10 pivots whose product-form updates left a basis
+// the repair loop's refactorization declared singular.
+func TestSimplexTieRuleAvoidsSingularBasis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second solver regression; skipped under -short")
+	}
+	rep, err := clusterSubproblem(t, 128, 6, 3, 129, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resolved {
+		t.Fatalf("cluster subproblem unresolved: status=%q nodes=%d",
+			rep.Stats.LastStatus, rep.Stats.Nodes)
+	}
+	if rep.Stats.Nodes <= 1 {
+		t.Fatalf("solve died at the root again: %+v", rep.Stats)
+	}
+}

@@ -293,7 +293,11 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 func (d *diagnoser) solveSub(cs []Complaint, o Options) (*Repair, error) {
 	o = o.withDefaults()
 	sub := &diagnoser{opt: o, d0: d.d0, log: d.log, complaints: cs,
-		width: d.width, dirtyFinal: d.dirtyFinal}
+		width: d.width, dirtyFinal: d.dirtyFinal,
+		// Sibling partitions share the parent's seed board, so the
+		// largest (first-finishing) solve seeds any later sibling that
+		// shares log coordinates with it.
+		seeds: d.seeds}
 	sub.adoptPlan(d)
 	if o.TotalTimeLimit > 0 {
 		sub.deadline = time.Now().Add(o.TotalTimeLimit)

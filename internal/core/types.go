@@ -137,6 +137,24 @@ type Options struct {
 	// ignored without ImpactCache.
 	LogDigest uint64
 
+	// WarmStart enables solver warm starts through the whole solve
+	// stack (warmstart.go): each MILP seeds branch-and-bound from the
+	// best available prior solution — refinement rounds from the repair
+	// they refine, later sibling partitions from earlier ones that
+	// share log coordinates, and repeat diagnoses from SolutionCache —
+	// with the prior basis seeding the root LP on exact cache hits.
+	// Warm starts are bit-for-bit invisible in the output: every seed
+	// is vetted and admitted exactly like a search-discovered
+	// incumbent, so repairs stay byte-identical to cold solves while
+	// Stats.WarmSeeds counts admissions and Stats.Nodes/LPIters drop.
+	WarmStart bool
+	// SolutionCache, when non-nil (and WarmStart set), caches accepted
+	// MILP solutions and final LP bases across diagnoses, keyed by a
+	// digest of the exact solve next to ImpactCache's log digests.
+	// Process-local and never serialized: histstore.Store installs one
+	// per store, dist workers keep one per process.
+	SolutionCache *SolutionCache
+
 	// TupleSlicing encodes only complaint tuples (§5.1) and enables the
 	// refinement step unless SkipRefine is set.
 	TupleSlicing bool
@@ -246,6 +264,12 @@ type Stats struct {
 	// ImpactTime is the wall clock spent obtaining the FullImpact
 	// closure (cached, extended, or computed), part of planning.
 	ImpactTime time.Duration
+	// WarmSeeds counts MILP solves whose branch-and-bound admitted a
+	// warm-start incumbent (Options.WarmStart): a prior solution from
+	// the SolutionCache or a completed seed-board projection that
+	// survived milp's snap/feasibility/re-pricing vetting. On the
+	// distributed path this aggregates worker-side admissions too.
+	WarmSeeds int
 	// Nodes and LPIters total across solves.
 	Nodes, LPIters int
 	// EncodeTime and SolveTime split the wall clock.

@@ -1,0 +1,209 @@
+// External test: solver warm starts against the paper's workload
+// generator and the partition bench generator. This is the acceptance
+// property for the warm-start layer: a warm-started diagnosis returns a
+// repair byte-identical to the cold one — across the incremental batch
+// scan (including refinement rounds), the partition scan, and repeat
+// diagnoses through a SolutionCache — while the warm statistics show
+// the seeds landing and the search shrinking.
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestWarmIncrementalMatchesCold sweeps generator workloads through the
+// incremental scan (tuple slicing on, so refinement rounds run and seed
+// from their step-1 repairs) and pins warm == cold byte-identically.
+func TestWarmIncrementalMatchesCold(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2 // solver-bound; keep the race-short pass fast
+	}
+	cold := core.Options{Algorithm: core.Incremental, TupleSlicing: true,
+		QuerySlicing: true, TimeLimit: 30 * time.Second}
+	rng := rand.New(rand.NewSource(41))
+	done := 0
+	for trial := 0; trial < 30 && done < trials; trial++ {
+		w, err := workload.Generate(workload.Config{
+			ND: 25, Na: 4, Nq: 20, Mix: workload.UpdateOnly, Seed: int64(trial) + 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := w.MakeInstance(10 + rng.Intn(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in.Complaints) == 0 {
+			continue // no-op corruption: nothing to diagnose
+		}
+		done++
+		want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := cold
+		warm.WarmStart = true
+		got, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gf, wf := diagFingerprint(in, got), diagFingerprint(in, want); gf != wf {
+			t.Errorf("trial %d: warm repair differs from cold:\n got %s\nwant %s", trial, gf, wf)
+		}
+	}
+	if done == 0 {
+		t.Fatal("setup: no seed produced a complaint-carrying instance")
+	}
+}
+
+// TestWarmRepeatSeedsFromSolutionCache repeats a diagnosis through a
+// shared SolutionCache: the second run must admit cached seeds
+// (Stats.WarmSeeds), spend no more search than the first, and return
+// the byte-identical repair.
+func TestWarmRepeatSeedsFromSolutionCache(t *testing.T) {
+	cold := core.Options{Algorithm: core.Incremental, TupleSlicing: true,
+		QuerySlicing: true, TimeLimit: 30 * time.Second}
+	done := 0
+	for trial := 0; trial < 30 && done < 3; trial++ {
+		w, err := workload.Generate(workload.Config{
+			ND: 25, Na: 4, Nq: 20, Mix: workload.UpdateOnly, Seed: int64(trial) + 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := w.MakeInstance(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in.Complaints) == 0 {
+			continue
+		}
+		want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Resolved {
+			continue // seeds only exist for accepted solves
+		}
+		done++
+
+		warm := cold
+		warm.WarmStart = true
+		warm.SolutionCache = core.NewSolutionCache(0)
+		first, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.SolutionCache.Len() == 0 {
+			t.Errorf("trial %d: no solutions cached by the first warm run", trial)
+		}
+		if second.Stats.WarmSeeds == 0 {
+			t.Errorf("trial %d: repeat run admitted no warm seeds: %+v", trial, second.Stats)
+		}
+		if second.Stats.Nodes > first.Stats.Nodes {
+			t.Errorf("trial %d: repeat run explored more nodes (%d) than the first (%d)",
+				trial, second.Stats.Nodes, first.Stats.Nodes)
+		}
+		wf := diagFingerprint(in, want)
+		for name, rep := range map[string]*core.Repair{"first warm": first, "repeat warm": second} {
+			if got := diagFingerprint(in, rep); got != wf {
+				t.Errorf("trial %d: %s repair differs from cold:\n got %s\nwant %s",
+					trial, name, got, wf)
+			}
+		}
+	}
+	if done == 0 {
+		t.Fatal("setup: no seed produced a resolved instance")
+	}
+}
+
+// TestWarmPartitionScanMatchesCold pins warm == cold across the
+// partition scan, and shows the repeat diagnosis of a partitioned
+// instance seeding every partition's solve from the cache.
+func TestWarmPartitionScanMatchesCold(t *testing.T) {
+	w, corruptIdx, err := bench.PartitionClusters(6, 5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := w.MakeInstance(corruptIdx...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Complaints) == 0 {
+		t.Fatal("setup: cluster workload raised no complaints")
+	}
+	cold := core.Options{Algorithm: core.Basic, TupleSlicing: true,
+		QuerySlicing: true, Partition: 3, TimeLimit: 30 * time.Second}
+	want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := cold
+	warm.WarmStart = true
+	warm.SolutionCache = core.NewSolutionCache(0)
+	first, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := diagFingerprint(in, want)
+	for name, rep := range map[string]*core.Repair{"first warm": first, "repeat warm": second} {
+		if got := diagFingerprint(in, rep); got != wf {
+			t.Errorf("%s partitioned repair differs from cold:\n got %s\nwant %s", name, got, wf)
+		}
+	}
+	if second.Stats.WarmSeeds == 0 {
+		t.Errorf("repeat partitioned run admitted no warm seeds: %+v", second.Stats)
+	}
+	if second.Stats.Nodes > first.Stats.Nodes {
+		t.Errorf("repeat partitioned run explored more nodes (%d) than the first (%d)",
+			second.Stats.Nodes, first.Stats.Nodes)
+	}
+}
+
+// TestWarmParallelScansMatchSequentialCold runs the warm layer under
+// both parallel scans (batch and partition workers > 1): seeds are then
+// published concurrently, which must stay invisible in the output.
+func TestWarmParallelScansMatchSequentialCold(t *testing.T) {
+	w, corruptIdx, err := bench.PartitionClusters(5, 5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := w.MakeInstance(corruptIdx...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := core.Options{Algorithm: core.Incremental, TupleSlicing: true,
+		QuerySlicing: true, TimeLimit: 30 * time.Second,
+		Partition: 4, Parallel: 4}
+	want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cold
+	warm.WarmStart = true
+	warm.SolutionCache = core.NewSolutionCache(0)
+	for run := 0; run < 2; run++ {
+		got, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gf, wf := diagFingerprint(in, got), diagFingerprint(in, want); gf != wf {
+			t.Errorf("run %d: warm parallel repair differs from cold parallel:\n got %s\nwant %s",
+				run, gf, wf)
+		}
+	}
+}

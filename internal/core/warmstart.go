@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/encode"
+	"repro/internal/lru"
+	"repro/internal/milp"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/simplex"
+)
+
+// This file threads solver warm starts through the engine. Every MILP
+// the engine builds is related to its neighbors — the incremental batch
+// k+1 model extends batch k's, a refinement round re-encodes the same
+// parameter set over the repaired log, sibling partitions parameterize
+// query sets of the same log, and repeat diagnoses rebuild the same
+// models outright — so each solve seeds branch-and-bound from the best
+// available prior solution instead of discovering its first incumbent
+// from scratch. Three sources, consulted in order of strength:
+//
+//   - SolutionCache (across diagnoses): an exact hit on the solve
+//     digest replays the prior solution vector and final LP basis into
+//     milp.Options.Incumbent/Basis directly;
+//   - the diagnosis's seed board (within one diagnosis): accepted
+//     solves publish their parameter assignments by log coordinate, and
+//     later solves sharing coordinates project them onto their own
+//     parameter space (encode.ProjectParams) and complete the
+//     projection into a feasible MIP start (encode.SeedSolution);
+//   - nothing — the solve runs cold, exactly as without WarmStart.
+//
+// Warm starts are bound seeds, never answers: milp vets every seed
+// (snap, feasibility, exact re-pricing) and admits it exactly like a
+// search-discovered incumbent, so the reported repair is the one the
+// cold search would report, with the win showing up only in
+// Stats.WarmSeeds and reduced Stats.Nodes/LPIters.
+
+// DefaultSolutionCacheEntries bounds a SolutionCache constructed with
+// NewSolutionCache(0).
+const DefaultSolutionCacheEntries = 64
+
+// seedCompletionNodes bounds the fix-and-solve completion that turns a
+// projected parameter assignment into a full MIP start. The restricted
+// model (every parameter fixed) typically solves in a handful of nodes;
+// a completion that needs more than this is not worth its cost as a
+// seed — the budget is the ceiling on what a failed seed attempt can
+// waste, so it stays deliberately small.
+const seedCompletionNodes = 500
+
+// SolutionCache caches accepted MILP solutions across diagnoses, keyed
+// by a digest of the exact solve (initial state, log SQL, complaint
+// set, parameter set, soft tuples, and the slicing/encoder options —
+// everything the model is a function of). A repeat diagnosis of the
+// same history rebuilds the same models; the cache hands each solve its
+// prior solution vector as the starting incumbent and its final simplex
+// basis to seed the root LP, collapsing the search to the pruning pass.
+// Install one via Options.SolutionCache next to Options.ImpactCache:
+// histstore.Store keeps one per store, dist workers one per process.
+// Safe for concurrent use; eviction is LRU.
+type SolutionCache struct {
+	mu      sync.Mutex
+	entries *lru.Map[uint64, solutionEntry]
+}
+
+type solutionEntry struct {
+	// Model fingerprint: digest collisions (or a cache shared across
+	// schema-divergent stores) must degrade to a miss, not a bogus
+	// seed. milp would reject a mis-shaped or infeasible seed anyway;
+	// the fingerprint just keeps the failure path cheap.
+	vars, rows, ints, params int
+	x                        []float64
+	basis                    *simplex.Snapshot
+}
+
+// NewSolutionCache returns a cache bounded to max solutions (0 picks
+// DefaultSolutionCacheEntries).
+func NewSolutionCache(max int) *SolutionCache {
+	if max <= 0 {
+		max = DefaultSolutionCacheEntries
+	}
+	return &SolutionCache{entries: lru.New[uint64, solutionEntry](max)}
+}
+
+// Len reports how many solutions the cache currently holds.
+func (c *SolutionCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.Len()
+}
+
+// get returns the cached solution and basis for the digest when its
+// model fingerprint matches the encoding about to be solved.
+func (c *SolutionCache) get(key uint64, res *encode.Result) ([]float64, *simplex.Snapshot, bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries.Get(key)
+	if !ok || e.vars != res.Model.NumVars() || e.rows != res.Model.NumConstrs() ||
+		e.ints != res.Model.NumIntVars() || e.params != len(res.Params) {
+		return nil, nil, false
+	}
+	return e.x, e.basis, true
+}
+
+// put stores an accepted solve's solution vector and final basis. The
+// slices are taken by reference and treated as immutable from here on
+// (milp copies before mutating).
+func (c *SolutionCache) put(key uint64, res *encode.Result, mres milp.Result) {
+	if c == nil || !mres.HasSolution {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries.Put(key, solutionEntry{
+		vars:   res.Model.NumVars(),
+		rows:   res.Model.NumConstrs(),
+		ints:   res.Model.NumIntVars(),
+		params: len(res.Params),
+		x:      mres.X,
+		basis:  mres.Basis,
+	})
+}
+
+// seedBoard shares accepted parameter assignments between the solves of
+// one diagnosis: refinement rounds seed from the step-1 repair they
+// refine, and sibling partitions (solved largest-first) seed later
+// solves that share log coordinates — which happens exactly when
+// conflict resolution unions partitions over a contested query. The
+// board is advisory and timing-dependent under the parallel scans;
+// that is safe because seeds only ever bound the search.
+type seedBoard struct {
+	mu   sync.Mutex
+	vals map[encode.ParamKey]float64
+}
+
+func newSeedBoard() *seedBoard {
+	return &seedBoard{vals: make(map[encode.ParamKey]float64)}
+}
+
+// publish records a solved encoding's parameter assignment.
+func (b *seedBoard) publish(params []encode.ParamRef, vals []float64) {
+	if b == nil || len(params) != len(vals) {
+		return
+	}
+	b.mu.Lock()
+	for i, p := range params {
+		b.vals[encode.ParamKey{Query: p.Query, Index: p.Index}] = vals[i]
+	}
+	b.mu.Unlock()
+}
+
+// snapshot copies the board for lock-free projection.
+func (b *seedBoard) snapshot() map[encode.ParamKey]float64 {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[encode.ParamKey]float64, len(b.vals))
+	for k, v := range b.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// solveKey digests everything the about-to-be-built model is a function
+// of: schema and log SQL (the rolling log digest discipline of
+// impactcache.go), the initial state's tuple IDs and values, the
+// complaint set, the parameter set, soft tuples, and the slicing and
+// encoder options. Two attempts with equal keys build models with
+// identical variables and solutions (constraint row order may differ,
+// which the solution vector is insensitive to).
+func (d *diagnoser) solveKey(baseLog []query.Query, paramSet map[int]bool, soft []int64) uint64 {
+	sch := d.d0.Schema()
+	h := DigestSeed(sch)
+	for _, q := range baseLog {
+		h = DigestStep(h, sch, q)
+	}
+	h = fnvString(h, "|d0|")
+	d.d0.Rows(func(t relation.Tuple) {
+		h = fnvU64(h, uint64(t.ID))
+		for _, v := range t.Values {
+			h = fnvF64(h, v)
+		}
+	})
+	h = fnvString(h, "|complaints|")
+	for _, c := range d.complaints {
+		h = fnvU64(h, uint64(c.TupleID))
+		h = fnvBool(h, c.Exists)
+		for _, v := range c.Values {
+			h = fnvF64(h, v)
+		}
+		h = fnvString(h, ";")
+	}
+	h = fnvString(h, "|params|")
+	qs := make([]int, 0, len(paramSet))
+	for qi := range paramSet {
+		qs = append(qs, qi)
+	}
+	sort.Ints(qs)
+	for _, qi := range qs {
+		h = fnvU64(h, uint64(qi))
+	}
+	h = fnvString(h, "|soft|")
+	for _, id := range soft {
+		h = fnvU64(h, uint64(id))
+	}
+	h = fnvString(h, "|slices|")
+	for _, id := range d.tupleIDs {
+		h = fnvU64(h, uint64(id))
+	}
+	h = fnvString(h, ";")
+	for _, a := range d.attrs {
+		h = fnvU64(h, uint64(a))
+	}
+	h = fnvString(h, "|opts|")
+	h = fnvBool(h, d.opt.TupleSlicing)
+	h = fnvBool(h, d.opt.Normalize)
+	h = fnvBool(h, d.opt.NoFolding)
+	h = fnvBool(h, d.opt.NoParamWindows)
+	h = fnvF64(h, d.opt.DomainBound)
+	h = fnvF64(h, d.opt.Eps)
+	return h
+}
+
+// seedSolve arms the MILP options with the strongest available warm
+// seed for this encoding: an exact SolutionCache hit replays the prior
+// solution and basis outright; otherwise a seed-board projection with
+// at least one shared coordinate is completed into a MIP start by a
+// small fix-and-solve. The completion's work is charged to st so the
+// warm statistics stay honest.
+func (d *diagnoser) seedSolve(res *encode.Result, key uint64, mopt *milp.Options, st *Stats) {
+	if x, basis, ok := d.opt.SolutionCache.get(key, res); ok {
+		mopt.Incumbent = x
+		// The cache entry is this model's own prior answer: let it
+		// prune at full strength (a tie with it IS the cold answer).
+		mopt.IncumbentPrior = true
+		mopt.Basis = basis
+		return
+	}
+	if d.seeds == nil || len(res.Params) == 0 {
+		return
+	}
+	prior := d.seeds.snapshot()
+	if len(prior) == 0 {
+		return
+	}
+	vals, shared := encode.ProjectParams(prior, res.Params)
+	if shared == 0 {
+		return
+	}
+	budget := milp.Options{
+		TimeLimit: mopt.TimeLimit / 4,
+		MaxNodes:  seedCompletionNodes,
+		ColdLP:    d.opt.ColdLP,
+	}
+	x, sres, ok := res.SeedSolution(vals, budget)
+	st.Nodes += sres.Nodes
+	st.LPIters += sres.LPIters
+	if ok {
+		mopt.Incumbent = x
+	}
+}
+
+// FNV-1a folds over the value kinds solveKey digests.
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvF64(h uint64, v float64) uint64 { return fnvU64(h, math.Float64bits(v)) }
+
+func fnvBool(h uint64, b bool) uint64 {
+	if b {
+		return fnvU64(h, 1)
+	}
+	return fnvU64(h, 0)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -12,14 +13,48 @@ import (
 
 // Mux reconnect backoff: after a dial failure or broken connection the
 // transport waits before re-dialing the persistent connection —
-// exponential from muxBackoffBase, capped at muxBackoffMax. Jobs that
-// arrive while the persistent connection is down are not delayed and
-// not lost: they fall back to one dialed connection per job, so a
-// recovering worker keeps serving the fleet while the mux link heals.
+// exponential from muxBackoffBase, capped at muxBackoffMax, then
+// jittered by ±25% (muxBackoffJitter). Without the jitter the schedule
+// is fully deterministic, so a coordinator with several mux workers
+// behind one recovered network path re-dials them all in lockstep,
+// slamming the path at the exact same instants every cycle; the jitter
+// de-synchronizes the fleet. It is seeded per-transport from the worker
+// address, so a given transport's schedule is reproducible (tests pin
+// it) while distinct workers never share one. Jobs that arrive while
+// the persistent connection is down are not delayed and not lost: they
+// fall back to one dialed connection per job, so a recovering worker
+// keeps serving the fleet while the mux link heals.
 const (
-	muxBackoffBase = 250 * time.Millisecond
-	muxBackoffMax  = 10 * time.Second
+	muxBackoffBase   = 250 * time.Millisecond
+	muxBackoffMax    = 10 * time.Second
+	muxBackoffJitter = 0.25
 )
+
+// muxBackoff returns the jittered wait before reconnect attempt
+// `failures` (1-based): the capped exponential scaled by a factor drawn
+// uniformly from [1-muxBackoffJitter, 1+muxBackoffJitter).
+func muxBackoff(failures int, rng *rand.Rand) time.Duration {
+	d := muxBackoffMax
+	if failures >= 1 && failures <= 6 {
+		if b := muxBackoffBase << (failures - 1); b < d {
+			d = b
+		}
+	}
+	scale := 1 - muxBackoffJitter + 2*muxBackoffJitter*rng.Float64()
+	return time.Duration(float64(d) * scale)
+}
+
+// backoffSeed derives a transport's deterministic jitter seed from its
+// worker address (FNV-1a), so schedules are reproducible per worker and
+// distinct across workers.
+func backoffSeed(addr string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
 
 // muxWriteTimeout bounds a frame write when the caller's context
 // carries no deadline (the coordinator always sets one; this guards
@@ -77,6 +112,7 @@ type MuxTransport struct {
 	dialing  chan struct{} // non-nil while a dial is in flight; closed when it settles
 	failures int           // consecutive connection failures (drives backoff)
 	nextDial time.Time     // earliest next persistent-connection dial
+	rng      *rand.Rand    // backoff jitter; guarded by mu, seeded from addr
 	closed   bool
 }
 
@@ -87,6 +123,7 @@ func DialMux(addr string) *MuxTransport {
 		addr:    addr,
 		oneShot: Dial(addr),
 		pending: make(map[uint64]chan *Result),
+		rng:     rand.New(rand.NewSource(backoffSeed(addr))),
 	}
 }
 
@@ -367,16 +404,10 @@ func (t *MuxTransport) teardownLocked(gen uint64) {
 }
 
 // backoffLocked arms the next persistent-connection dial: exponential
-// in consecutive failures, capped.
+// in consecutive failures, capped, jittered (muxBackoff).
 func (t *MuxTransport) backoffLocked() {
 	t.failures++
-	d := muxBackoffMax
-	if t.failures <= 6 {
-		if b := muxBackoffBase << (t.failures - 1); b < d {
-			d = b
-		}
-	}
-	t.nextDial = time.Now().Add(d)
+	t.nextDial = time.Now().Add(muxBackoff(t.failures, t.rng))
 }
 
 var _ Transport = (*MuxTransport)(nil)

@@ -1,0 +1,77 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// TestDistributedWarmLoopbackByteIdentical runs a warm-started fleet
+// diagnosis twice against one loopback worker. The worker's process
+// caches (decode + impact + solution) carry across the runs, so the
+// repeat run must admit warm seeds on the worker side — and both runs
+// must stay byte-identical to cold local partitioned diagnosis.
+func TestDistributedWarmLoopbackByteIdentical(t *testing.T) {
+	d0, log, complaints := benchInstance(t, 4)
+	want := localReference(t, d0, log, complaints)
+
+	opts := partitionOpts()
+	opts.WarmStart = true
+
+	// One worker, so every partition job of both runs lands on the same
+	// process cache.
+	coord := dist.Connect(dist.Config{Logf: t.Logf}, startWorker(t))
+	defer coord.Close()
+
+	sch := d0.Schema()
+	first, err := coord.Diagnose(d0, log, complaints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := coord.Diagnose(d0, log, complaints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := repairFingerprint(sch, want)
+	for name, rep := range map[string]*core.Repair{"first": first, "repeat": second} {
+		if got := repairFingerprint(sch, rep); got != wf {
+			t.Errorf("%s warm distributed repair differs from cold local:\n got:\n%s\nwant:\n%s",
+				name, got, wf)
+		}
+	}
+	if second.Stats.RemoteJobs != second.Stats.Partitions {
+		t.Fatalf("repeat run: RemoteJobs = %d, want %d (healthy worker solves everything)",
+			second.Stats.RemoteJobs, second.Stats.Partitions)
+	}
+	if second.Stats.WarmSeeds == 0 {
+		t.Errorf("repeat run admitted no worker-side warm seeds: %+v", second.Stats)
+	}
+	if second.Stats.Nodes > first.Stats.Nodes {
+		t.Errorf("repeat run explored more nodes (%d) than the first (%d)",
+			second.Stats.Nodes, first.Stats.Nodes)
+	}
+}
+
+// Warm starts must stay inert on the wire for a fleet that never opts
+// in: the flag is additive, and a cold fleet run equals the local cold
+// reference (this is the existing e2e guarantee, re-pinned here against
+// the new wire field).
+func TestDistributedColdUnaffectedByWarmField(t *testing.T) {
+	d0, log, complaints := benchInstance(t, 3)
+	want := localReference(t, d0, log, complaints)
+
+	coord := dist.Connect(dist.Config{Logf: t.Logf}, startWorker(t))
+	defer coord.Close()
+	got, err := coord.Diagnose(d0, log, complaints, partitionOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.WarmSeeds != 0 {
+		t.Errorf("cold fleet run reported %d warm seeds", got.Stats.WarmSeeds)
+	}
+	sch := d0.Schema()
+	if w, g := repairFingerprint(sch, want), repairFingerprint(sch, got); w != g {
+		t.Errorf("cold distributed repair differs from local:\n got:\n%s\nwant:\n%s", g, w)
+	}
+}

@@ -343,6 +343,11 @@ type wireOptions struct {
 	NoFolding        bool    `json:"no_folding"`
 	NoParamWindows   bool    `json:"no_param_windows"`
 	ColdLP           bool    `json:"cold_lp"`
+	// WarmStart rides the wire as a plain flag (additive, so v2 workers
+	// ignore it and older coordinators simply never set it); the
+	// worker's process-local SolutionCache supplies the actual seeds,
+	// exactly as its impact cache supplies closures.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 func encodeOptions(o core.Options) wireOptions {
@@ -364,6 +369,7 @@ func encodeOptions(o core.Options) wireOptions {
 		NoFolding:        o.NoFolding,
 		NoParamWindows:   o.NoParamWindows,
 		ColdLP:           o.ColdLP,
+		WarmStart:        o.WarmStart,
 	}
 }
 
@@ -386,6 +392,7 @@ func decodeOptions(w wireOptions) core.Options {
 		NoFolding:        w.NoFolding,
 		NoParamWindows:   w.NoParamWindows,
 		ColdLP:           w.ColdLP,
+		WarmStart:        w.WarmStart,
 	}
 }
 

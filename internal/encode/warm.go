@@ -1,0 +1,114 @@
+package encode
+
+import (
+	"repro/internal/milp"
+)
+
+// This file is the warm-start translator: machinery to carry a solved
+// model's parameter assignment onto a *related* model. Two encodings
+// are related when their logs share a prefix in the (query index,
+// parameter index) coordinate space — the incremental batch k+1 model
+// extends batch k's, a refinement (step 2) model re-encodes the same
+// parameter set over the repaired log, and sibling partitions of one
+// diagnosis parameterize (usually disjoint, occasionally shared) query
+// sets of the same log. Parameter identity survives all of these
+// because ParamRef coordinates are positions in the log, not positions
+// in any one model.
+//
+// Projection alone yields parameter values, not a full solution: the
+// target model's auxiliary variables (σ literals, the u/v linearization
+// pairs, deviation and liveness variables) are missing. SeedSolution
+// completes the projection by fixing the parameter variables to their
+// projected values and solving the heavily restricted MILP under a
+// small budget — any solution of the restricted model is by
+// construction feasible in the full model, so the result is a valid MIP
+// start for milp.Options.Incumbent. Warm starts built this way only
+// ever seed the branch-and-bound *bound*; they cannot change which
+// repair the solver reports, because a seed is admitted exactly like a
+// search-discovered incumbent.
+
+// ParamKey identifies one repairable constant by its position in the
+// log: parameter Index of the query at log index Query (canonical
+// parameter order, see internal/query). It is the coordinate space
+// shared by every encoding of the same (or a prefix-related) log.
+type ParamKey struct {
+	Query int
+	Index int
+}
+
+// SolutionParams collects a solved encoding's parameter assignment by
+// log coordinate, the exportable half of the translator: vals must be
+// aligned with params (the encoding's ParamRef order, as returned by
+// Result.Solve).
+func SolutionParams(params []ParamRef, vals []float64) map[ParamKey]float64 {
+	if len(params) != len(vals) {
+		return nil
+	}
+	out := make(map[ParamKey]float64, len(params))
+	for i, p := range params {
+		out[ParamKey{p.Query, p.Index}] = vals[i]
+	}
+	return out
+}
+
+// ProjectParams projects a prior solution's parameter assignment onto a
+// related encoding's parameter space: parameters the prior solution
+// assigned keep their solved values, parameters it never saw fall back
+// to their own original constants (the identity repair for that
+// coordinate). shared counts how many parameters actually carried over
+// — with shared == 0 the projection is pure identity and seeding from
+// it is pointless (an identity repair cannot resolve a complaint, so
+// the completed model would be infeasible).
+func ProjectParams(prior map[ParamKey]float64, params []ParamRef) (vals []float64, shared int) {
+	vals = make([]float64, len(params))
+	for i, p := range params {
+		if v, ok := prior[ParamKey{p.Query, p.Index}]; ok {
+			vals[i] = v
+			shared++
+		} else {
+			vals[i] = p.Orig
+		}
+	}
+	return vals, shared
+}
+
+// SeedSolution completes a projected parameter assignment into a full
+// feasible solution vector for this encoding's model: each parameter
+// variable is fixed to its assigned value and the restricted MILP is
+// solved under opt's (deliberately small) budget. The returned vector
+// is feasible in the unrestricted model and safe to pass as
+// milp.Options.Incumbent. ok is false when a value falls outside its
+// parameter's (possibly window-tightened) bounds or the restricted
+// solve finds no solution within budget — seeding is then skipped, it
+// is never worth forcing. The restricted solve's work is reported in
+// res so callers can account it against the warm start's winnings.
+func (r *Result) SeedSolution(vals []float64, opt milp.Options) (x []float64, res milp.Result, ok bool) {
+	if len(vals) != len(r.Params) {
+		return nil, milp.Result{}, false
+	}
+	type bounds struct {
+		v      milp.Var
+		lb, ub float64
+	}
+	saved := make([]bounds, 0, len(r.Params))
+	fits := true
+	for i, p := range r.Params {
+		lb, ub := r.Model.Bounds(p.Var)
+		if vals[i] < lb || vals[i] > ub {
+			fits = false
+			break
+		}
+		saved = append(saved, bounds{p.Var, lb, ub})
+		r.Model.SetBounds(p.Var, vals[i], vals[i])
+	}
+	if fits {
+		res = r.Model.Solve(opt)
+	}
+	for _, b := range saved {
+		r.Model.SetBounds(b.v, b.lb, b.ub)
+	}
+	if !fits || !res.HasSolution {
+		return nil, res, false
+	}
+	return res.X, res, true
+}

@@ -1,0 +1,131 @@
+package encode
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/milp"
+)
+
+func TestProjectParams(t *testing.T) {
+	next := []ParamRef{
+		{Query: 0, Index: 0, Orig: 10},
+		{Query: 0, Index: 1, Orig: 20},
+		{Query: 2, Index: 0, Orig: 30},
+	}
+	prior := map[ParamKey]float64{
+		{Query: 0, Index: 1}: 99,  // shared coordinate
+		{Query: 5, Index: 0}: -12, // unknown to `next`: ignored
+	}
+	vals, shared := ProjectParams(prior, next)
+	if shared != 1 {
+		t.Fatalf("shared = %d, want 1", shared)
+	}
+	want := []float64{10, 99, 30}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	if vals, shared := ProjectParams(nil, next); shared != 0 || vals[0] != 10 {
+		t.Fatalf("empty prior: vals %v shared %d, want identity and 0", vals, shared)
+	}
+}
+
+func TestSolutionParams(t *testing.T) {
+	refs := []ParamRef{{Query: 1, Index: 0}, {Query: 1, Index: 1}}
+	m := SolutionParams(refs, []float64{7, 8})
+	if len(m) != 2 || m[ParamKey{1, 0}] != 7 || m[ParamKey{1, 1}] != 8 {
+		t.Fatalf("SolutionParams = %v", m)
+	}
+	if SolutionParams(refs, []float64{7}) != nil {
+		t.Fatal("mismatched lengths must return nil")
+	}
+}
+
+// SeedSolution must complete a prior solution's parameter assignment
+// into a vector the MILP accepts as a feasible incumbent reproducing
+// the same repair.
+func TestSeedSolutionCompletesPriorAssignment(t *testing.T) {
+	d0, log, complaints := figure2()
+	build := func() *Result {
+		res, err := Encode(d0, log, complaints, Options{
+			ParamQueries: map[int]bool{0: true},
+			TupleIDs:     []int64{3, 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := build()
+	mres, vals := first.Solve(30*time.Second, 0)
+	if !mres.HasSolution {
+		t.Fatalf("setup solve failed: %+v", mres)
+	}
+
+	// Project the solved assignment onto a fresh encoding of the same
+	// instance and complete it.
+	next := build()
+	proj, shared := ProjectParams(SolutionParams(first.Params, vals), next.Params)
+	if shared != len(next.Params) {
+		t.Fatalf("shared = %d, want all %d parameters", shared, len(next.Params))
+	}
+	x, sres, ok := next.SeedSolution(proj, milp.Options{MaxNodes: 2000})
+	if !ok {
+		t.Fatalf("SeedSolution failed: %+v", sres)
+	}
+	if len(x) != next.Model.NumVars() {
+		t.Fatalf("completion length %d, want %d", len(x), next.Model.NumVars())
+	}
+
+	// The completion must be admissible as a MIP start and lead to the
+	// byte-identical parameter values.
+	wres, wvals := next.SolveOpts(milp.Options{TimeLimit: 30 * time.Second, Incumbent: x})
+	if !wres.HasSolution || !wres.SeedUsed {
+		t.Fatalf("seeded solve: %+v (SeedUsed=%v)", wres, wres.SeedUsed)
+	}
+	for i := range vals {
+		if math.Abs(wvals[i]-vals[i]) > 1e-9 {
+			t.Fatalf("seeded vals %v differ from cold vals %v", wvals, vals)
+		}
+	}
+
+	// Parameter bounds must be restored after completion.
+	for _, p := range next.Params {
+		lb, ub := next.Model.Bounds(p.Var)
+		if lb == ub {
+			t.Fatalf("parameter %v left fixed at [%v,%v] after SeedSolution", p, lb, ub)
+		}
+	}
+}
+
+func TestSeedSolutionRejectsBadInput(t *testing.T) {
+	d0, log, complaints := figure2()
+	res, err := Encode(d0, log, complaints, Options{
+		ParamQueries: map[int]bool{0: true},
+		TupleIDs:     []int64{3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := res.SeedSolution([]float64{1}, milp.Options{}); ok {
+		t.Fatal("wrong-length assignment accepted")
+	}
+	// A value outside the parameter's (window-tightened) bounds must be
+	// rejected with bounds intact.
+	huge := make([]float64, len(res.Params))
+	for i := range huge {
+		huge[i] = 1e12
+	}
+	if _, _, ok := res.SeedSolution(huge, milp.Options{}); ok {
+		t.Fatal("out-of-bounds assignment accepted")
+	}
+	for _, p := range res.Params {
+		lb, ub := res.Model.Bounds(p.Var)
+		if lb == ub {
+			t.Fatalf("parameter %v left fixed after rejected SeedSolution", p)
+		}
+	}
+}

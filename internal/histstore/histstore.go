@@ -38,7 +38,11 @@
 // A store also owns a core.ImpactCache: Diagnose installs it, so repeat
 // diagnoses of the same log reuse the FullImpact closure, and Append
 // eagerly extends the cached closure (core.ExtendFullImpact) so a
-// diagnosis after appends starts from a warm closure.
+// diagnosis after appends starts from a warm closure. A
+// core.SolutionCache sits next to it: Diagnose with Options.WarmStart
+// seeds each solve from the solutions of earlier diagnoses of the same
+// history (Stats.WarmSeeds), so auditing the same store repeatedly
+// collapses each branch-and-bound to its pruning pass.
 package histstore
 
 import (
@@ -79,8 +83,9 @@ type Store struct {
 	gen int64
 	// digest is the rolling log digest (core.DigestStep per append),
 	// the impact cache key for the current log.
-	digest uint64
-	cache  *core.ImpactCache
+	digest    uint64
+	cache     *core.ImpactCache
+	solutions *core.SolutionCache
 	// impact is the FullImpact closure covering log, once a diagnosis
 	// has materialized one; Append extends it incrementally.
 	impact []query.AttrSet
@@ -117,7 +122,8 @@ func Create(dir string, d0 *relation.Table) (*Store, error) {
 	}
 	syncDir(dir)
 	return &Store{dir: dir, schema: sch, d0: d0.Clone(), logF: logF, gen: gen,
-		digest: core.DigestSeed(sch), cache: core.NewImpactCache(0)}, nil
+		digest: core.DigestSeed(sch), cache: core.NewImpactCache(0),
+		solutions: core.NewSolutionCache(0)}, nil
 }
 
 // writeSnapshot writes a format-2 snapshot (header record, then one
@@ -369,7 +375,8 @@ func Open(dir string) (*Store, error) {
 	}
 
 	s := &Store{dir: dir, schema: sch, d0: d0, log: log, logF: logF, gen: gen,
-		digest: core.DigestSeed(sch), cache: core.NewImpactCache(0)}
+		digest: core.DigestSeed(sch), cache: core.NewImpactCache(0),
+		solutions: core.NewSolutionCache(0)}
 	for _, q := range log {
 		s.digest = core.DigestStep(s.digest, sch, q)
 	}
@@ -410,6 +417,10 @@ func (s *Store) Log() []query.Query { return query.CloneLog(s.log) }
 // ImpactCache returns the store's impact cache (shared by every
 // Diagnose on this store).
 func (s *Store) ImpactCache() *core.ImpactCache { return s.cache }
+
+// SolutionCache returns the store's solution cache (shared by every
+// warm-started Diagnose on this store).
+func (s *Store) SolutionCache() *core.SolutionCache { return s.solutions }
 
 // Append durably adds a statement to the log.
 func (s *Store) Append(q query.Query) error {
@@ -482,6 +493,9 @@ func (s *Store) Current() (*relation.Table, error) {
 func (s *Store) Diagnose(complaints []core.Complaint, opt core.Options) (*core.Repair, error) {
 	if opt.ImpactCache == nil {
 		opt.ImpactCache = s.cache
+	}
+	if opt.WarmStart && opt.SolutionCache == nil {
+		opt.SolutionCache = s.solutions
 	}
 	if opt.LogDigest == 0 {
 		opt.LogDigest = s.digest // exact-hit fast path: no SQL re-rendering

@@ -18,6 +18,12 @@ type bnb struct {
 	incumbent []float64
 	incObj    float64
 	hasInc    bool
+	seeded    bool // Options.Incumbent passed vetting
+	// softInc marks an incumbent that is a translated (non-prior) seed:
+	// it prunes with a Gap of slack and yields to the first search-
+	// discovered solution at least as good, so seeding never changes
+	// which of several tied optima the search reports.
+	softInc bool
 
 	nodes   int
 	lpIters int
@@ -29,6 +35,14 @@ func (m *Model) Solve(opt Options) Result {
 	opt = opt.withDefaults()
 	s := &bnb{m: m, opt: opt, incObj: math.Inf(1)}
 	s.lp = simplex.NewSolver(m.prob, opt.LP)
+	if opt.Basis != nil && !opt.ColdLP {
+		// Best effort: a stale-shaped or singular basis is rejected by
+		// Install and the root LP simply starts cold.
+		s.lp.Install(opt.Basis)
+	}
+	if opt.Incumbent != nil {
+		s.seedIncumbent(opt.Incumbent)
+	}
 	if opt.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opt.TimeLimit)
 		s.hasDL = true
@@ -36,7 +50,10 @@ func (m *Model) Solve(opt Options) Result {
 
 	st := s.search()
 
-	res := Result{Nodes: s.nodes, LPIters: s.lpIters}
+	res := Result{Nodes: s.nodes, LPIters: s.lpIters, SeedUsed: s.seeded}
+	if !opt.ColdLP {
+		res.Basis = s.lp.Snapshot()
+	}
 	if s.hasInc {
 		res.HasSolution = true
 		res.X = s.incumbent
@@ -53,6 +70,98 @@ func (m *Model) Solve(opt Options) Result {
 		res.Status = Infeasible
 	}
 	return res
+}
+
+// seedIncumbent vets a caller-supplied MIP start: snap integer
+// variables (rejecting seeds further than IntTol from integrality),
+// verify the snapped point against every bound and constraint row, and
+// recompute its objective exactly from the snapped point before
+// admitting it as the initial bound. A seed that fails any gate is
+// ignored; the search then runs exactly as if no seed were given.
+func (s *bnb) seedIncumbent(x0 []float64) {
+	if len(x0) != s.m.NumVars() {
+		return
+	}
+	x := append([]float64(nil), x0...)
+	for j, isInt := range s.m.isInt {
+		if !isInt {
+			continue
+		}
+		r := math.Round(x[j])
+		if math.Abs(x[j]-r) > s.opt.IntTol {
+			return
+		}
+		x[j] = r
+	}
+	if !s.m.prob.PointFeasible(x) {
+		return
+	}
+	s.incumbent = x
+	s.incObj = s.m.prob.Objective(x)
+	s.hasInc = true
+	s.seeded = true
+	s.softInc = !s.opt.IncumbentPrior
+}
+
+// admit stores x as the incumbent when it beats the current bound,
+// pricing it exactly on x itself. A soft (translated-seed) incumbent
+// additionally yields to any search-discovered solution within Gap of
+// it — ties then resolve to the solution the cold search would report.
+func (s *bnb) admit(x []float64) {
+	obj := s.m.prob.Objective(x)
+	lim := s.incObj
+	if s.softInc {
+		lim += s.opt.Gap
+	}
+	if !s.hasInc || obj < lim {
+		s.incumbent, s.incObj, s.hasInc = x, obj, true
+		s.softInc = false
+	}
+}
+
+// polish fixes every integer variable at its snapped value (clamped
+// into the node's bounds) and re-solves the LP so the continuous
+// variables absorb the snap. ok means the restricted LP certified a
+// feasible point with exact integer coordinates; the node's bounds are
+// restored either way.
+func (s *bnb) polish(x []float64) ([]float64, bool) {
+	type saved struct {
+		j      int
+		lb, ub float64
+	}
+	var restore []saved
+	for j, isInt := range s.m.isInt {
+		if !isInt {
+			continue
+		}
+		lb, ub := s.m.prob.Bounds(j)
+		v := math.Min(math.Max(x[j], lb), ub)
+		restore = append(restore, saved{j, lb, ub})
+		s.m.prob.SetBounds(j, v, v)
+	}
+	var sol simplex.Solution
+	if s.opt.ColdLP {
+		sol = s.m.prob.Solve(s.opt.LP)
+	} else {
+		sol = s.lp.Solve()
+	}
+	s.lpIters += sol.Iters
+	for _, r := range restore {
+		s.m.prob.SetBounds(r.j, r.lb, r.ub)
+	}
+	if sol.Status != simplex.Optimal {
+		return nil, false
+	}
+	px := append([]float64(nil), sol.X...)
+	for j, isInt := range s.m.isInt {
+		if isInt {
+			px[j] = math.Round(px[j]) // exact: the var was fixed there
+		}
+	}
+	if !s.m.prob.PointFeasible(px) {
+		return nil, false
+	}
+	return px, true
 }
 
 type nodeOutcome int
@@ -99,8 +208,13 @@ func (s *bnb) node(depth int) nodeOutcome {
 		return nodeDone
 	}
 
-	// Bound pruning.
-	if s.hasInc && sol.Obj >= s.incObj-s.opt.Gap {
+	// Bound pruning. A soft seed prunes only strictly worse nodes (its
+	// slack keeps tie-valued subtrees explorable, see admit).
+	prune := s.incObj - s.opt.Gap
+	if s.softInc {
+		prune = s.incObj + s.opt.Gap
+	}
+	if s.hasInc && sol.Obj >= prune {
 		return nodeDone
 	}
 
@@ -121,17 +235,54 @@ func (s *bnb) node(depth int) nodeOutcome {
 	}
 
 	if branch < 0 {
-		// Integer feasible: new incumbent.
+		// Integer feasible within IntTol: snap, then re-vet the snapped
+		// point itself. The LP objective belongs to the unrounded
+		// iterate — rounding can move the objective past Gap (corrupting
+		// the stored bound and Result.Obj) and can violate a tight row by
+		// up to IntTol·‖row‖ — so the incumbent is re-priced on exactly
+		// the point being stored, and a point that snapping actually
+		// moved is feasibility-checked before it is trusted. (A point
+		// snapping did NOT move is the LP's own iterate, already
+		// certified by the solver's residual checks; re-litigating it
+		// against the structural gate would only reject tolerance noise.)
 		x := append([]float64(nil), sol.X...)
+		moved, movedBy := -1, 0.0
 		for j, isInt := range s.m.isInt {
-			if isInt {
-				x[j] = math.Round(x[j])
+			if !isInt {
+				continue
 			}
+			r := math.Round(x[j])
+			if d := math.Abs(x[j] - r); d > movedBy {
+				moved, movedBy = j, d
+			}
+			x[j] = r
 		}
-		s.incumbent = x
-		s.incObj = sol.Obj
-		s.hasInc = true
-		return nodeDone
+		if movedBy == 0 || s.m.prob.PointFeasible(x) {
+			s.admit(x)
+			return nodeDone
+		}
+		// Snapping broke feasibility. Polish first: re-solve this node's
+		// LP with every integer fixed at its snapped value, which either
+		// certifies a nearby point with exact integer coordinates (the
+		// continuous variables absorb the snap) or proves the snapped
+		// integer assignment infeasible here.
+		if px, ok := s.polish(x); ok {
+			s.admit(px)
+			if s.m.prob.Objective(px) <= sol.Obj+s.opt.Gap {
+				// The polished point attains this subtree's LP bound:
+				// nothing below can beat it by more than Gap.
+				return nodeDone
+			}
+			// Absorbing the snap cost real objective: integer
+			// assignments between the bound and the polished point may
+			// hide below, so keep branching (the polished incumbent
+			// still tightens the pruning meanwhile).
+		}
+		// Branch on the variable that moved farthest in snapping — both
+		// children exclude the fractional point, so the search separates
+		// it instead of admitting an infeasible incumbent (or stopping
+		// at a possibly suboptimal polished one).
+		branch = moved
 	}
 
 	if depth > 10000 {

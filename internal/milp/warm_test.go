@@ -1,0 +1,227 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simplex"
+)
+
+// Regression: the incumbent's objective must be recomputed from the
+// integer-snapped X, not copied from the unrounded LP iterate. Here the
+// LP optimum sits 1e-7 below an integer with a 1e6 objective weight, so
+// the rounding moves the true objective 0.1 past the default Gap (1e-9):
+// the buggy path stored Obj = 1999999.9 for X = [2].
+func TestIncumbentObjectiveRecomputedFromSnappedX(t *testing.T) {
+	m := NewModel()
+	x := m.NewInteger(0, 5)
+	m.SetObjCoef(x, 1e6)
+	m.AddGE([]Term{{x, 1}}, 2-1e-7)
+
+	res := m.Solve(Options{})
+	if res.Status != Optimal || !res.HasSolution {
+		t.Fatalf("solve: %+v", res)
+	}
+	if res.X[x] != 2 {
+		t.Fatalf("X = %v, want exactly 2", res.X[x])
+	}
+	if math.Abs(res.Obj-2e6) > 1e-6 {
+		t.Fatalf("Obj = %v, want 2e6 (objective priced on the snapped point)", res.Obj)
+	}
+}
+
+// Regression: a snapped incumbent that violates a tight constraint must
+// be rejected and the search must keep branching instead of returning an
+// infeasible "optimal" point. With IntTol=1e-3 the LP optimum 1.9995 is
+// within snapping distance of 2, but x=2 violates x <= 1.9995 by 5e-4 —
+// far beyond the residual tolerance. The true integer optimum is x=1.
+func TestSnappedIncumbentFeasibilityChecked(t *testing.T) {
+	m := NewModel()
+	x := m.NewInteger(0, 5)
+	m.SetObjCoef(x, -1)
+	m.AddLE([]Term{{x, 1}}, 1.9995)
+
+	res := m.Solve(Options{IntTol: 1e-3})
+	if res.Status != Optimal || !res.HasSolution {
+		t.Fatalf("solve: %+v", res)
+	}
+	if res.X[x] != 1 {
+		t.Fatalf("X = %v, want 1 (x=2 violates the row and must not be admitted)", res.X[x])
+	}
+	if math.Abs(res.Obj-(-1)) > 1e-9 {
+		t.Fatalf("Obj = %v, want -1", res.Obj)
+	}
+}
+
+// buildKnapsack returns a small MILP with a unique optimum, used by the
+// seed tests: maximize 5a+4b+3c under 2a+3b+c <= 5, binaries.
+func buildKnapsack() *Model {
+	m := NewModel()
+	a, b, c := m.NewBinary(), m.NewBinary(), m.NewBinary()
+	m.SetObjCoef(a, -5)
+	m.SetObjCoef(b, -4)
+	m.SetObjCoef(c, -3)
+	m.AddLE([]Term{{a, 2}, {b, 3}, {c, 1}}, 5)
+	return m
+}
+
+func TestSeedRejectedWrongLength(t *testing.T) {
+	m := buildKnapsack()
+	res := m.Solve(Options{Incumbent: []float64{1, 0}})
+	if res.SeedUsed {
+		t.Fatal("wrong-length seed was admitted")
+	}
+	if res.Status != Optimal || math.Abs(res.Obj-(-9)) > 1e-9 {
+		t.Fatalf("solve after rejected seed: %+v", res)
+	}
+}
+
+func TestSeedRejectedInfeasible(t *testing.T) {
+	m := buildKnapsack()
+	// a=b=c=1 violates the knapsack row (6 > 5).
+	res := m.Solve(Options{Incumbent: []float64{1, 1, 1}})
+	if res.SeedUsed {
+		t.Fatal("row-infeasible seed was admitted")
+	}
+	if res.Status != Optimal || math.Abs(res.Obj-(-9)) > 1e-9 {
+		t.Fatalf("solve after rejected seed: %+v", res)
+	}
+}
+
+func TestSeedRejectedFractional(t *testing.T) {
+	m := buildKnapsack()
+	res := m.Solve(Options{Incumbent: []float64{0.5, 0, 0}})
+	if res.SeedUsed {
+		t.Fatal("fractional seed was admitted")
+	}
+	if res.Status != Optimal || math.Abs(res.Obj-(-9)) > 1e-9 {
+		t.Fatalf("solve after rejected seed: %+v", res)
+	}
+}
+
+func TestSeedAdmittedAndResultUnchanged(t *testing.T) {
+	cold := buildKnapsack().Solve(Options{})
+	if cold.Status != Optimal {
+		t.Fatalf("cold: %+v", cold)
+	}
+	m := buildKnapsack()
+	res := m.Solve(Options{Incumbent: append([]float64(nil), cold.X...)})
+	if !res.SeedUsed {
+		t.Fatal("optimal seed was rejected")
+	}
+	if res.Status != Optimal || math.Abs(res.Obj-cold.Obj) > 1e-9 {
+		t.Fatalf("seeded: %+v, cold %+v", res, cold)
+	}
+	for j := range cold.X {
+		if res.X[j] != cold.X[j] {
+			t.Fatalf("seeded X = %v differs from cold X = %v", res.X, cold.X)
+		}
+	}
+	if res.Nodes > cold.Nodes {
+		t.Fatalf("seeded search explored %d nodes, cold %d", res.Nodes, cold.Nodes)
+	}
+}
+
+// A seed within IntTol of integrality is snapped and priced on the
+// snapped point: the admitted bound must be the snapped objective.
+func TestSeedSnappedBeforeAdmission(t *testing.T) {
+	m := NewModel()
+	x := m.NewInteger(0, 5)
+	m.SetObjCoef(x, 1e6)
+	m.AddGE([]Term{{x, 1}}, 2-1e-7)
+	res := m.Solve(Options{Incumbent: []float64{2 - 1e-7}})
+	if !res.SeedUsed {
+		t.Fatal("near-integral feasible seed was rejected")
+	}
+	if res.X[0] != 2 || math.Abs(res.Obj-2e6) > 1e-6 {
+		t.Fatalf("seeded result %+v, want X=2 Obj=2e6", res)
+	}
+}
+
+// A translated (non-prior) seed must not steal ties: when the model has
+// several optima, the seeded search must return the same one the cold
+// search returns, with the seed only ever acting as a bound. A prior
+// seed (a cache replay of this model's own answer) keeps full pruning
+// strength instead.
+func TestSeedDoesNotStealTies(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		a, b := m.NewBinary(), m.NewBinary()
+		m.SetObjCoef(a, -1)
+		m.SetObjCoef(b, -1)
+		m.AddLE([]Term{{a, 1}, {b, 1}}, 1) // optima: (1,0) and (0,1), obj -1
+		return m
+	}
+	cold := build().Solve(Options{})
+	if cold.Status != Optimal || math.Abs(cold.Obj-(-1)) > 1e-9 {
+		t.Fatalf("cold: %+v", cold)
+	}
+	// Seed the OTHER optimum.
+	other := []float64{1 - cold.X[0], 1 - cold.X[1]}
+
+	soft := build().Solve(Options{Incumbent: other})
+	if !soft.SeedUsed || soft.Status != Optimal {
+		t.Fatalf("soft-seeded solve: %+v", soft)
+	}
+	if soft.X[0] != cold.X[0] || soft.X[1] != cold.X[1] {
+		t.Fatalf("soft seed stole the tie: got %v, cold %v", soft.X, cold.X)
+	}
+
+	prior := build().Solve(Options{Incumbent: other, IncumbentPrior: true})
+	if !prior.SeedUsed || prior.Status != Optimal {
+		t.Fatalf("prior-seeded solve: %+v", prior)
+	}
+	if prior.X[0] != other[0] || prior.X[1] != other[1] {
+		t.Fatalf("prior seed was not returned on a tie: got %v, seed %v", prior.X, other)
+	}
+}
+
+func TestBasisRoundTripAcrossSolves(t *testing.T) {
+	m1 := buildKnapsack()
+	first := m1.Solve(Options{})
+	if first.Basis == nil {
+		t.Fatal("Solve exported no basis")
+	}
+	m2 := buildKnapsack()
+	second := m2.Solve(Options{Basis: first.Basis, Incumbent: first.X})
+	if second.Status != Optimal || math.Abs(second.Obj-first.Obj) > 1e-9 {
+		t.Fatalf("warm solve: %+v, cold %+v", second, first)
+	}
+	if !second.SeedUsed {
+		t.Fatal("prior solution rejected as seed")
+	}
+	if second.Nodes > first.Nodes || second.LPIters > first.LPIters {
+		t.Fatalf("warm solve did more work: nodes %d vs %d, iters %d vs %d",
+			second.Nodes, first.Nodes, second.LPIters, first.LPIters)
+	}
+}
+
+// A basis exported from a differently shaped model must be rejected by
+// Install inside Solve, leaving the answer untouched.
+func TestStaleBasisShapeIgnored(t *testing.T) {
+	small := NewModel()
+	s := small.NewInteger(0, 3)
+	small.SetObjCoef(s, -1)
+	small.AddLE([]Term{{s, 1}}, 2)
+	sres := small.Solve(Options{})
+	if sres.Basis == nil {
+		t.Fatal("no basis exported")
+	}
+	m := buildKnapsack()
+	res := m.Solve(Options{Basis: sres.Basis})
+	if res.Status != Optimal || math.Abs(res.Obj-(-9)) > 1e-9 {
+		t.Fatalf("solve with stale-shape basis: %+v", res)
+	}
+}
+
+func TestColdLPExportsNoBasis(t *testing.T) {
+	m := buildKnapsack()
+	res := m.Solve(Options{ColdLP: true})
+	if res.Basis != nil {
+		t.Fatal("ColdLP solve exported a basis")
+	}
+	if res.Status != Optimal {
+		t.Fatalf("solve: %+v", res)
+	}
+	var _ *simplex.Snapshot = res.Basis
+}

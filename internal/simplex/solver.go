@@ -39,10 +39,7 @@ func (ws *Solver) Solve() Solution {
 	}
 	s := ws.inner
 	s.iters = 0
-	st := s.phase1()
-	if st == Optimal {
-		st = s.phase2()
-	}
+	st := s.optimize()
 	if warm && st == Infeasible && !s.rowsValid() {
 		// An infeasibility verdict is only trustworthy if the iterate
 		// actually satisfies the equality system; a corrupted basis
@@ -55,14 +52,41 @@ func (ws *Solver) Solve() Solution {
 		// an "optimal" answer violating bounds or rows is the telltale.)
 		s.init()
 		s.iters = 0
-		if st = s.phase1(); st == Optimal {
-			st = s.phase2()
-		}
+		st = s.optimize()
 	}
 	if st == Optimal && !s.solutionValid() {
 		st = NumFail // even the cold basis is numerically untrustworthy
 	}
 	return s.result(st)
+}
+
+// optimize runs phase 1 then phase 2, then repairs drift instead of
+// letting it curdle into a verdict: the ratio test skips rows whose
+// direction component is below the pivot threshold, so one long step
+// (big-M models legally take steps of ~1e7) can carry such a row's
+// basic variable visibly past its bound, and product-form updates
+// accumulate error in the basis inverse that computeBasics then bakes
+// into the iterate. Either way the final validity gate would reject the
+// "optimal" answer as NumFail, stalling branch-and-bound subtrees that
+// are actually fine. The repair is mechanical: refactorize (rebuild the
+// exact inverse and recompute the basics), re-run phase 1 to restore
+// feasibility in a handful of pivots, and re-optimize from that basis.
+// A model that still fails validation after two repairs is genuinely
+// numerically hostile and keeps the NumFail verdict.
+func (s *solver) optimize() Status {
+	st := s.phase1()
+	if st == Optimal {
+		st = s.phase2()
+	}
+	for round := 0; round < 2 && st == Optimal && !s.solutionValid(); round++ {
+		if !s.refactorize() {
+			return NumFail
+		}
+		if st = s.phase1(); st == Optimal {
+			st = s.phase2()
+		}
+	}
+	return st
 }
 
 // solutionValid checks the current iterate for primal feasibility:
@@ -537,41 +561,52 @@ func (s *solver) pivot(j, dir int, phase1 bool) Status {
 		tBest = s.xval[j] - s.lb[j]
 	}
 
-	for i := 0; i < s.m; i++ {
+	// rowBreak computes row i's exact breakpoint: how far the entering
+	// variable may travel before basis position i's variable hits a
+	// bound (the bound it stops at is returned). ok=false means the row
+	// imposes no limit in this direction.
+	rowBreak := func(i int) (t, bound float64, ok bool) {
 		delta := -float64(dir) * s.w[i]
 		if math.Abs(delta) <= ptol {
-			continue
+			return 0, 0, false
 		}
 		bv := s.basis[i]
 		v, l, u := s.xval[bv], s.lb[bv], s.ub[bv]
-		var t, bound float64
 		switch {
 		case phase1 && v < l-ftol:
 			if delta <= 0 {
-				continue // moving further below: no breakpoint
+				return 0, 0, false // moving further below: no breakpoint
 			}
 			t, bound = (l-v)/delta, l
 		case phase1 && v > u+ftol:
 			if delta >= 0 {
-				continue
+				return 0, 0, false
 			}
 			t, bound = (u-v)/delta, u
 		case delta > 0:
 			if math.IsInf(u, 1) {
-				continue
+				return 0, 0, false
 			}
 			t, bound = (u-v)/delta, u
 		default: // delta < 0
 			if math.IsInf(l, -1) {
-				continue
+				return 0, 0, false
 			}
 			t, bound = (l-v)/delta, l
 		}
 		if t < 0 {
 			t = 0 // degenerate: slight bound violation within tolerance
 		}
-		// Prefer strictly smaller t; on near-ties keep the larger |pivot|
-		// for numerical stability.
+		return t, bound, true
+	}
+
+	// Exact minimum-ratio test: prefer strictly smaller t, and on
+	// near-ties keep the larger |pivot| for numerical stability.
+	for i := 0; i < s.m; i++ {
+		t, bound, ok := rowBreak(i)
+		if !ok {
+			continue
+		}
 		if t < tBest-1e-12 || (t <= tBest+1e-12 && leave >= 0 && math.Abs(s.w[i]) > math.Abs(s.w[leave])) {
 			tBest, leave, leaveBound = t, i, bound
 		}
@@ -582,6 +617,46 @@ func (s *solver) pivot(j, dir int, phase1 bool) Status {
 			return NumFail // cannot happen with exact arithmetic
 		}
 		return Unbounded
+	}
+
+	// Tiny-pivot escape (two-pass Harris, run only when needed): when
+	// the exact test elects a pivot small enough to poison the basis
+	// inverse, re-pick the largest |pivot| among rows whose exact
+	// breakpoint fits under a feasibility-relaxed step limit; every
+	// bypassed row then overshoots its bound by at most the relaxation,
+	// regardless of scan order. This matters on big-M models, where
+	// steps legally reach ~1e7 and the exact test otherwise steers the
+	// basis into sub-1e-10 pivots whose product-form updates leave an
+	// inverse even refactorization cannot salvage (the partition bench
+	// died on exactly that). Gating on the tiny pivot keeps every other
+	// pivot's path — and therefore solver behavior and performance —
+	// identical to the exact test.
+	if leave >= 0 && math.Abs(s.w[leave]) < 1e-7 {
+		relax := 0.1 * ftol
+		tMax := math.Inf(1)
+		if dir > 0 {
+			if !math.IsInf(s.ub[j], 1) {
+				tMax = s.ub[j] - s.xval[j] // entering travel: unrelaxed
+			}
+		} else if !math.IsInf(s.lb[j], -1) {
+			tMax = s.xval[j] - s.lb[j]
+		}
+		for i := 0; i < s.m; i++ {
+			if t, _, ok := rowBreak(i); ok {
+				if r := t + relax/math.Abs(s.w[i]); r < tMax {
+					tMax = r
+				}
+			}
+		}
+		for i := 0; i < s.m; i++ {
+			t, bound, ok := rowBreak(i)
+			if !ok || t > tMax {
+				continue
+			}
+			if math.Abs(s.w[i]) > math.Abs(s.w[leave]) {
+				tBest, leave, leaveBound = t, i, bound
+			}
+		}
 	}
 
 	// Anti-cycling bookkeeping.

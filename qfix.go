@@ -54,6 +54,17 @@
 // the fleet, so the biggest MILP never sits at the back of the queue
 // defining the critical path.
 //
+// Options.WarmStart threads solver warm starts through the whole solve
+// stack: every MILP seeds branch-and-bound from the best available
+// prior solution (refinement rounds from the repair they refine, later
+// sibling partitions from earlier ones sharing log coordinates, repeat
+// diagnoses from Options.SolutionCache, which also seeds the root LP
+// basis on exact hits). Seeds are vetted — integer-snapped,
+// feasibility-checked, re-priced exactly — and admitted like
+// search-discovered incumbents, so warm-started repairs are
+// byte-identical to cold ones; the win is Stats.WarmSeeds and reduced
+// Stats.Nodes/LPIters.
+//
 // The subpackages are exposed for advanced use: internal/encode (the MILP
 // encoder), internal/milp and internal/simplex (the solver stack),
 // internal/dist (the coordinator/worker distribution layer),
@@ -111,11 +122,24 @@ type (
 	// (Stats.ImpactCacheExtends). internal/histstore keeps one per
 	// store; dist workers keep one per process.
 	ImpactCache = core.ImpactCache
+	// SolutionCache caches accepted MILP solutions and final LP bases
+	// across diagnoses, keyed by a digest of the exact solve. Install
+	// one via Options.SolutionCache with Options.WarmStart set: repeat
+	// diagnoses seed each branch-and-bound with the prior solution as
+	// the starting incumbent and the prior basis in the root LP
+	// (Stats.WarmSeeds), collapsing the search to the pruning pass
+	// while repairs stay byte-identical to cold solves. internal/
+	// histstore keeps one per store; dist workers keep one per process.
+	SolutionCache = core.SolutionCache
 )
 
 // NewImpactCache returns an impact cache bounded to max closures (0
 // picks the default bound). Safe for concurrent use.
 func NewImpactCache(max int) *ImpactCache { return core.NewImpactCache(max) }
+
+// NewSolutionCache returns a solution cache bounded to max solutions (0
+// picks the default bound). Safe for concurrent use.
+func NewSolutionCache(max int) *SolutionCache { return core.NewSolutionCache(max) }
 
 // Algorithm choices.
 const (
