@@ -48,6 +48,9 @@ func main() {
 		k         = flag.Int("k", 1, "incremental batch size")
 		parallel  = flag.String("parallel", "1", "concurrent incremental batch workers (or 'auto' to size from GOMAXPROCS)")
 		partition = flag.String("partition", "0", "partition-parallel diagnosis workers (0 disables partitioning; 'auto' sizes from GOMAXPROCS)")
+		solverPar = flag.String("solver-parallel", "1", "concurrent branch-and-bound LP workers inside each MILP solve (or 'auto'); repairs are identical at any setting")
+		noPre     = flag.Bool("no-presolve", false, "disable the MILP root presolve (ablation)")
+		verbose   = flag.Bool("v", false, "print solver statistics (nodes, LP iterations, refactorizations, presolved rows)")
 		workers   = flag.String("workers", "", "comma-separated qfix-worker addresses (host:port,...) for distributed diagnosis")
 		mux       = flag.Bool("mux", false, "multiplex jobs over one persistent connection per worker (wire v3) instead of dialing per job")
 		noTuple   = flag.Bool("no-tuple-slicing", false, "disable tuple slicing")
@@ -100,6 +103,8 @@ func main() {
 	fatalIf(err)
 	part, err := parsePool("partition", *partition)
 	fatalIf(err)
+	spar, err := parsePool("solver-parallel", *solverPar)
+	fatalIf(err)
 
 	opts := qfix.Options{
 		K:                *k,
@@ -110,6 +115,8 @@ func main() {
 		AttrSlicing:      *attrSlice,
 		SingleCorruption: *single,
 		WarmStart:        *warm,
+		SolverParallel:   spar,
+		NoPresolve:       *noPre,
 		TimeLimit:        *limit,
 	}
 	if *workers != "" {
@@ -168,6 +175,13 @@ func main() {
 	if *warm {
 		fmt.Printf("-- warm starts: %d seeded solves (%d nodes, %d LP iterations total)\n",
 			rep.Stats.WarmSeeds, rep.Stats.Nodes, rep.Stats.LPIters)
+	}
+	if *verbose {
+		fmt.Printf("-- solver: %d nodes, %d LP iterations, %d refactorizations, %d presolved rows\n",
+			rep.Stats.Nodes, rep.Stats.LPIters, rep.Stats.Refactorizations, rep.Stats.PresolvedRows)
+		fmt.Printf("-- model: %d rows, %d vars (%d binary); encode %v, solve %v\n",
+			rep.Stats.Rows, rep.Stats.Vars, rep.Stats.Binaries,
+			rep.Stats.EncodeTime.Round(time.Millisecond), rep.Stats.SolveTime.Round(time.Millisecond))
 	}
 	fmt.Printf("-- complaints resolved: %v; repair distance: %.3f\n", rep.Resolved, rep.Distance)
 	if rep.Stats.Partitions > 0 {

@@ -12,8 +12,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Errorf("expected 19 experiments (every figure + ex2 + ablation + partition + distributed + impactcache + warmstart), got %d", len(exps))
+	if len(exps) != 20 {
+		t.Errorf("expected 20 experiments (every figure + ex2 + ablation + partition + distributed + impactcache + warmstart + solver), got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -125,6 +125,7 @@ func Experiments() []Experiment {
 		{"distributed", "Distributed diagnosis: local partitioned vs loopback qfix-worker fleet", (*Runner).FigDistributed},
 		{"impactcache", "Impact cache: repeat-diagnosis latency, cold vs cached vs incrementally extended", (*Runner).FigImpactCache},
 		{"warmstart", "Solver warm starts: seeded branch-and-bound across batches, partitions, and repeat diagnoses", (*Runner).FigWarmStart},
+		{"solver", "MILP solver stack: presolve and parallel branch-and-bound on big-M models", (*Runner).FigSolver},
 	}
 }
 

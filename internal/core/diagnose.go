@@ -209,7 +209,13 @@ func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft [
 			limit = remain
 		}
 	}
-	mopt := milp.Options{TimeLimit: limit, MaxNodes: d.opt.MaxNodes, ColdLP: d.opt.ColdLP}
+	mopt := milp.Options{
+		TimeLimit:  limit,
+		MaxNodes:   d.opt.MaxNodes,
+		ColdLP:     d.opt.ColdLP,
+		Parallel:   d.opt.SolverParallel,
+		NoPresolve: d.opt.NoPresolve,
+	}
 	var warmKey uint64
 	if d.opt.WarmStart {
 		t1 := time.Now()
@@ -238,6 +244,8 @@ func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft [
 	st.SolveTime += time.Since(t1)
 	st.Nodes += mres.Nodes
 	st.LPIters += mres.LPIters
+	st.Refactorizations += mres.Refactorizations
+	st.PresolvedRows += mres.PresolvedRows
 	if mres.SeedUsed {
 		st.WarmSeeds++
 	}

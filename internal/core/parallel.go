@@ -134,6 +134,8 @@ func (d *diagnoser) mergeStats(st Stats) {
 	d.stats.BatchesTried += st.BatchesTried
 	d.stats.Nodes += st.Nodes
 	d.stats.LPIters += st.LPIters
+	d.stats.Refactorizations += st.Refactorizations
+	d.stats.PresolvedRows += st.PresolvedRows
 	d.stats.EncodeTime += st.EncodeTime
 	d.stats.SolveTime += st.SolveTime
 	d.stats.PlanPasses += st.PlanPasses

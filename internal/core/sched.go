@@ -1,64 +1,19 @@
 package core
 
-import "sync"
+import "repro/internal/sched"
 
 // schedule fans jobs 0..n-1 out over a pool of at most workers
 // concurrent goroutines, starting them in index order. It is the shared
 // scheduler behind both solve scans: the incremental batch scan
-// (parallel.go) and the partition scan (partition.go).
+// (parallel.go) and the partition scan (partition.go). The machinery
+// lives in internal/sched (a leaf package) so the milp parallel
+// branch-and-bound can share it without an import cycle.
 func schedule[R any](workers, n int, job func(i int) R) (results []chan R, wait func()) {
-	return scheduleOrder(workers, n, nil, job)
+	return sched.Schedule(workers, n, job)
 }
 
-// scheduleOrder is schedule with an explicit start order: order[k] is
-// the k-th job index handed to the pool (nil means 0..n-1; otherwise it
-// must be a permutation of 0..n-1). The partition scan passes its
-// largest-first order here so the biggest MILP is never stuck behind
-// the queue defining the critical path.
-//
-// Every job gets its own 1-buffered result channel, so the consumer can
-// adjudicate results in SUBMISSION order (index order, not start order)
-// while later jobs are still running — the property both scans rely on
-// for determinism: whichever job finishes first, and whatever order the
-// pool started them in, the *choice* among results is made in a fixed
-// order. Jobs that want to short-circuit after a decision (e.g. batches
-// older than an accepted repair) check their own cancellation flag
-// inside job; the scheduler itself never drops a slot.
-//
-// wait blocks until every job has delivered its result.
+// scheduleOrder is schedule with an explicit start order; see
+// sched.ScheduleOrder for the determinism contract.
 func scheduleOrder[R any](workers, n int, order []int, job func(i int) R) (results []chan R, wait func()) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	results = make([]chan R, n)
-	for i := range results {
-		results[i] = make(chan R, 1)
-	}
-	feed := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range feed {
-				results[i] <- job(i)
-			}
-		}()
-	}
-	go func() {
-		if order == nil {
-			for i := 0; i < n; i++ {
-				feed <- i
-			}
-		} else {
-			for _, i := range order {
-				feed <- i
-			}
-		}
-		close(feed)
-	}()
-	return results, wg.Wait
+	return sched.ScheduleOrder(workers, n, order, job)
 }

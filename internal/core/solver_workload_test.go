@@ -1,0 +1,177 @@
+// External test: the solver rebuild against the paper's workload
+// generator. This is the acceptance property for the sparse
+// revised-simplex + presolve + parallel branch-and-bound stack: every
+// solver configuration — parallel node search on or off, presolve on or
+// off — returns a repair byte-identical to the sequential
+// presolve-enabled baseline, across the incremental batch scan and the
+// partition scan. Parallel search is additionally pinned to identical
+// solver statistics (nodes, LP iterations, refactorizations): the
+// speculation must be invisible in the accounting, not just the answer.
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestSolverParallelMatchesSequential sweeps generator workloads through
+// the incremental scan with parallel in-solve search and pins both the
+// repair and the solver statistics to the sequential run.
+func TestSolverParallelMatchesSequential(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2 // solver-bound; keep the race-short pass fast
+	}
+	// The generous limit matters: the identity property holds for solves
+	// that complete. A time-limited stop is wall-clock-dependent, and a
+	// slower configuration legitimately diverges when it runs out of
+	// budget mid-scan (it still returns a valid, verified repair).
+	base := core.Options{Algorithm: core.Incremental, TupleSlicing: true,
+		QuerySlicing: true, TimeLimit: 600 * time.Second}
+	rng := rand.New(rand.NewSource(61))
+	done := 0
+	for trial := 0; trial < 30 && done < trials; trial++ {
+		w, err := workload.Generate(workload.Config{
+			ND: 25, Na: 4, Nq: 20, Mix: workload.UpdateOnly, Seed: int64(trial) + 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := w.MakeInstance(10 + rng.Intn(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in.Complaints) == 0 {
+			continue // no-op corruption: nothing to diagnose
+		}
+		done++
+		want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf := diagFingerprint(in, want)
+		for _, spar := range []int{2, 4, -1} {
+			opt := base
+			opt.SolverParallel = spar
+			got, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gf := diagFingerprint(in, got); gf != wf {
+				t.Errorf("trial %d SolverParallel=%d: repair differs from sequential:\n got %s\nwant %s",
+					trial, spar, gf, wf)
+			}
+			if got.Stats.Nodes != want.Stats.Nodes ||
+				got.Stats.LPIters != want.Stats.LPIters ||
+				got.Stats.Refactorizations != want.Stats.Refactorizations {
+				t.Errorf("trial %d SolverParallel=%d: solver stats diverged: nodes %d/%d iters %d/%d refac %d/%d",
+					trial, spar, got.Stats.Nodes, want.Stats.Nodes,
+					got.Stats.LPIters, want.Stats.LPIters,
+					got.Stats.Refactorizations, want.Stats.Refactorizations)
+			}
+		}
+	}
+	if done == 0 {
+		t.Fatal("setup: no seed produced a complaint-carrying instance")
+	}
+}
+
+// TestNoPresolveMatchesDefault pins the presolve ablation: presolve
+// changes the work (PresolvedRows > 0, usually fewer nodes), never the
+// repair.
+func TestNoPresolveMatchesDefault(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	// NoPresolve can be ~25x slower on big-M batches; the limit must be
+	// high enough that it still completes every solve, or the scans
+	// legitimately diverge (see TestSolverParallelMatchesSequential).
+	base := core.Options{Algorithm: core.Incremental, TupleSlicing: true,
+		QuerySlicing: true, TimeLimit: 600 * time.Second}
+	rng := rand.New(rand.NewSource(71))
+	done := 0
+	sawReduction := false
+	for trial := 0; trial < 30 && done < trials; trial++ {
+		w, err := workload.Generate(workload.Config{
+			ND: 25, Na: 4, Nq: 20, Mix: workload.UpdateOnly, Seed: int64(trial) + 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := w.MakeInstance(10 + rng.Intn(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in.Complaints) == 0 {
+			continue
+		}
+		done++
+		want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Stats.PresolvedRows > 0 {
+			sawReduction = true
+		}
+		off := base
+		off.NoPresolve = true
+		got, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.PresolvedRows != 0 {
+			t.Errorf("trial %d: NoPresolve run reported %d presolved rows", trial, got.Stats.PresolvedRows)
+		}
+		if gf, wf := diagFingerprint(in, got), diagFingerprint(in, want); gf != wf {
+			t.Errorf("trial %d: NoPresolve repair differs from default:\n got %s\nwant %s", trial, gf, wf)
+		}
+	}
+	if done == 0 {
+		t.Fatal("setup: no seed produced a complaint-carrying instance")
+	}
+	if !sawReduction {
+		t.Error("presolve never reduced a model across the sweep; the ablation is vacuous")
+	}
+}
+
+// TestSolverParallelPartitionScanMatches runs parallel in-solve search
+// under the partition scan (partition workers solving concurrent MILPs,
+// each itself searching in parallel) and pins the repair to the fully
+// sequential run.
+func TestSolverParallelPartitionScanMatches(t *testing.T) {
+	w, corruptIdx, err := bench.PartitionClusters(6, 5, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := w.MakeInstance(corruptIdx...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Complaints) == 0 {
+		t.Fatal("setup: cluster workload raised no complaints")
+	}
+	base := core.Options{Algorithm: core.Basic, TupleSlicing: true,
+		QuerySlicing: true, Partition: 3, TimeLimit: 600 * time.Second}
+	want, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := diagFingerprint(in, want)
+	for _, opt := range []core.Options{
+		func() core.Options { o := base; o.SolverParallel = 4; return o }(),
+		func() core.Options { o := base; o.SolverParallel = 4; o.NoPresolve = true; return o }(),
+	} {
+		got, err := core.Diagnose(in.W.D0, in.Dirty, in.Complaints, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gf := diagFingerprint(in, got); gf != wf {
+			t.Errorf("SolverParallel=%d NoPresolve=%v: partitioned repair differs:\n got %s\nwant %s",
+				opt.SolverParallel, opt.NoPresolve, gf, wf)
+		}
+	}
+}

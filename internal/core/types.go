@@ -190,13 +190,24 @@ type Options struct {
 	Eps         float64
 	Normalize   bool
 
+	// SolverParallel explores branch-and-bound nodes of each MILP with
+	// this many concurrent LP workers (0 or 1 = sequential, -1 = one per
+	// CPU). Independent of Parallel/Partition, which run whole encodings
+	// concurrently; this parallelizes inside a single solve. The search
+	// is speculative with sequential semantics (milp.Options.Parallel):
+	// repairs and solver stats are byte-identical at any setting.
+	SolverParallel int
+
 	// Ablation switches (extensions beyond the paper; see DESIGN.md):
 	// NoFolding disables the encoder's constant-folding presolve,
 	// NoParamWindows disables predicate-parameter window tightening,
-	// ColdLP disables warm-started LP relaxations in branch-and-bound.
+	// ColdLP disables warm-started LP relaxations in branch-and-bound,
+	// NoPresolve disables the MILP root presolve (forced-variable
+	// fixing, implied big-M bound tightening, redundant row dropping).
 	NoFolding      bool
 	NoParamWindows bool
 	ColdLP         bool
+	NoPresolve     bool
 }
 
 func (o Options) withDefaults() Options {
@@ -211,6 +222,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Partition < 0 {
 		o.Partition = runtime.GOMAXPROCS(0)
+	}
+	if o.SolverParallel < 0 {
+		o.SolverParallel = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -272,6 +286,11 @@ type Stats struct {
 	WarmSeeds int
 	// Nodes and LPIters total across solves.
 	Nodes, LPIters int
+	// Refactorizations totals sparse-LU basis rebuilds across solves
+	// (simplex/factor.go); PresolvedRows totals constraint rows dropped
+	// by the MILP root presolve (milp/presolve.go).
+	Refactorizations int
+	PresolvedRows    int
 	// EncodeTime and SolveTime split the wall clock.
 	EncodeTime time.Duration
 	SolveTime  time.Duration

@@ -226,6 +226,11 @@ func (d *diagnoser) solveKey(baseLog []query.Query, paramSet map[int]bool, soft 
 	h = fnvBool(h, d.opt.Normalize)
 	h = fnvBool(h, d.opt.NoFolding)
 	h = fnvBool(h, d.opt.NoParamWindows)
+	// NoPresolve changes which of several tied optima the search settles
+	// on, so cached seeds must not cross the configuration boundary.
+	// SolverParallel is deliberately NOT digested: results are
+	// byte-identical at any setting by construction.
+	h = fnvBool(h, d.opt.NoPresolve)
 	h = fnvF64(h, d.opt.DomainBound)
 	h = fnvF64(h, d.opt.Eps)
 	return h
@@ -258,13 +263,16 @@ func (d *diagnoser) seedSolve(res *encode.Result, key uint64, mopt *milp.Options
 		return
 	}
 	budget := milp.Options{
-		TimeLimit: mopt.TimeLimit / 4,
-		MaxNodes:  seedCompletionNodes,
-		ColdLP:    d.opt.ColdLP,
+		TimeLimit:  mopt.TimeLimit / 4,
+		MaxNodes:   seedCompletionNodes,
+		ColdLP:     d.opt.ColdLP,
+		NoPresolve: d.opt.NoPresolve,
 	}
 	x, sres, ok := res.SeedSolution(vals, budget)
 	st.Nodes += sres.Nodes
 	st.LPIters += sres.LPIters
+	st.Refactorizations += sres.Refactorizations
+	st.PresolvedRows += sres.PresolvedRows
 	if ok {
 		mopt.Incumbent = x
 	}

@@ -1,0 +1,49 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// TestDistributedSolverConfigMatchesLocal pins the solver options' ride
+// over the wire: a loopback-TCP fleet running parallel in-solve search
+// (and, separately, the presolve ablation) must return the repair
+// byte-identical to plain local sequential diagnosis. This is the
+// distributed leg of the solver-determinism property — SolverParallel
+// is byte-invisible by construction, and NoPresolve preserves the
+// feasible set, so neither may shift a partition's repair no matter
+// which process solves it.
+func TestDistributedSolverConfigMatchesLocal(t *testing.T) {
+	d0, log, complaints := benchInstance(t, 4)
+	want := localReference(t, d0, log, complaints)
+	sch := d0.Schema()
+
+	coord := dist.Connect(dist.Config{Logf: t.Logf}, startWorker(t), startWorker(t))
+	defer coord.Close()
+
+	for _, tc := range []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"solver-parallel", func(o *core.Options) { o.SolverParallel = 4 }},
+		{"no-presolve", func(o *core.Options) { o.NoPresolve = true }},
+		{"both", func(o *core.Options) { o.SolverParallel = 4; o.NoPresolve = true }},
+	} {
+		opts := partitionOpts()
+		tc.mod(&opts)
+		got, err := coord.Diagnose(d0, log, complaints, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if w, g := repairFingerprint(sch, want), repairFingerprint(sch, got); w != g {
+			t.Errorf("%s: distributed repair differs from local sequential:\n got:\n%s\nwant:\n%s",
+				tc.name, g, w)
+		}
+		if got.Stats.RemoteJobs != got.Stats.Partitions {
+			t.Errorf("%s: RemoteJobs = %d, want every partition (%d) solved remotely",
+				tc.name, got.Stats.RemoteJobs, got.Stats.Partitions)
+		}
+	}
+}

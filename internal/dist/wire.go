@@ -348,6 +348,13 @@ type wireOptions struct {
 	// worker's process-local SolutionCache supplies the actual seeds,
 	// exactly as its impact cache supplies closures.
 	WarmStart bool `json:"warm_start,omitempty"`
+	// SolverParallel and NoPresolve configure the worker's MILP solver
+	// to match the coordinator's (additive fields, same compatibility
+	// story as WarmStart). -1 means one LP worker per worker-side CPU;
+	// repairs are byte-identical at any setting, so coordinators and
+	// workers may disagree on parallelism without disagreeing on output.
+	SolverParallel int  `json:"solver_parallel,omitempty"`
+	NoPresolve     bool `json:"no_presolve,omitempty"`
 }
 
 func encodeOptions(o core.Options) wireOptions {
@@ -370,6 +377,8 @@ func encodeOptions(o core.Options) wireOptions {
 		NoParamWindows:   o.NoParamWindows,
 		ColdLP:           o.ColdLP,
 		WarmStart:        o.WarmStart,
+		SolverParallel:   o.SolverParallel,
+		NoPresolve:       o.NoPresolve,
 	}
 }
 
@@ -393,6 +402,8 @@ func decodeOptions(w wireOptions) core.Options {
 		NoParamWindows:   w.NoParamWindows,
 		ColdLP:           w.ColdLP,
 		WarmStart:        w.WarmStart,
+		SolverParallel:   w.SolverParallel,
+		NoPresolve:       w.NoPresolve,
 	}
 }
 

@@ -1,0 +1,39 @@
+package milp
+
+import "testing"
+
+// TestDeepBranchingNoStackOverflow is the regression test for the old
+// recursive DFS: minimize x+y subject to 2x - 2y = 1 over integers in
+// [0, 12000] is parity-infeasible, but the LP relaxation is feasible at
+// every node, so proving infeasibility forces a branching chain tens of
+// thousands of nodes deep. The recursive search hit its depth guard at
+// 10000 and gave up with Limit (and without the guard would have
+// overflowed the goroutine stack); the explicit node pool must walk the
+// whole chain and prove Infeasible.
+func TestDeepBranchingNoStackOverflow(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		x := m.NewInteger(0, 12000)
+		y := m.NewInteger(0, 12000)
+		m.SetObjCoef(x, 1)
+		m.SetObjCoef(y, 1)
+		m.AddEQ([]Term{{x, 2}, {y, -2}}, 1)
+		return m
+	}
+	// Presolve must not shortcut the point of the test: the implied
+	// bound arithmetic cannot see parity, so the search still does the
+	// deep walk, but verify both configurations anyway.
+	for _, opt := range []Options{
+		{NoPresolve: true},
+		{},
+		{Parallel: 4},
+	} {
+		res := build().Solve(opt)
+		if res.Status != Infeasible {
+			t.Fatalf("opts %+v: got status %v (nodes=%d), want infeasible", opt, res.Status, res.Nodes)
+		}
+		if res.HasSolution {
+			t.Fatalf("opts %+v: infeasible model reported a solution", opt)
+		}
+	}
+}

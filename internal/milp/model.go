@@ -169,6 +169,20 @@ type Options struct {
 	// warm-starting from the parent. Ablation switch; warm starts are
 	// typically 10-100x faster on the encoder's models.
 	ColdLP bool
+	// Parallel explores branch-and-bound nodes with this many concurrent
+	// LP workers (0 or 1 = sequential). Parallelism is speculative with
+	// sequential semantics: a single deterministic driver pops nodes in
+	// best-bound order (ties broken on node id) and makes every prune,
+	// branch, and incumbent decision, while workers merely pre-solve the
+	// LP relaxations of nodes still waiting in the heap. Results — the
+	// solution, its objective, and the node/iteration counts — are
+	// byte-identical at any Parallel setting.
+	Parallel int
+	// NoPresolve disables the root presolve (forced-variable fixing,
+	// implied big-M bound tightening, redundant row dropping). Ablation
+	// switch; presolve preserves the feasible set exactly, so it changes
+	// which solve is performed, never which solutions exist.
+	NoPresolve bool
 
 	// Incumbent, when non-nil, proposes a starting solution (a MIP
 	// start, length NumVars). It is vetted before it is trusted: integer
@@ -229,8 +243,19 @@ type Result struct {
 	// SeedUsed reports that Options.Incumbent passed vetting and was
 	// admitted as the initial bound.
 	SeedUsed bool
-	// Basis is the LP basis the search ended on, exportable as
-	// Options.Basis for a later solve of an identically shaped model.
-	// Nil under ColdLP (no retained solver to export from).
+	// Refactorizations is the total basis refactorizations across all
+	// consumed LP solves (sparse LU rebuilds; see simplex/factor.go).
+	Refactorizations int
+	// PresolvedRows and PresolvedVars count constraint rows dropped and
+	// variables fixed by the root presolve (zero under NoPresolve).
+	PresolvedRows int
+	PresolvedVars int
+	// Basis is the LP basis belonging to the solution the search settled
+	// on (the incumbent's node, or the root relaxation when no incumbent
+	// exists), exportable as Options.Basis for a later solve of an
+	// identically shaped model. When presolve reduced the model the
+	// snapshot has the reduced shape — still replayable, because presolve
+	// is deterministic and reproduces the same reduced shape for the same
+	// model. Nil under ColdLP.
 	Basis *simplex.Snapshot
 }

@@ -1,0 +1,84 @@
+// Package sched holds the worker-pool primitives shared by every layer
+// that fans work out over goroutines: the core solve scans (incremental
+// batches, partitions) and the milp parallel branch-and-bound. It is a
+// leaf package — core imports encode imports milp, so the scheduler must
+// live below all of them.
+package sched
+
+import "sync"
+
+// Schedule fans jobs 0..n-1 out over a pool of at most workers
+// concurrent goroutines, starting them in index order.
+func Schedule[R any](workers, n int, job func(i int) R) (results []chan R, wait func()) {
+	return ScheduleOrder(workers, n, nil, job)
+}
+
+// ScheduleOrder is Schedule with an explicit start order: order[k] is
+// the k-th job index handed to the pool (nil means 0..n-1; otherwise it
+// must be a permutation of 0..n-1). The partition scan passes its
+// largest-first order here so the biggest MILP is never stuck behind
+// the queue defining the critical path.
+//
+// Every job gets its own 1-buffered result channel, so the consumer can
+// adjudicate results in SUBMISSION order (index order, not start order)
+// while later jobs are still running — the property the callers rely on
+// for determinism: whichever job finishes first, and whatever order the
+// pool started them in, the *choice* among results is made in a fixed
+// order. Jobs that want to short-circuit after a decision (e.g. batches
+// older than an accepted repair) check their own cancellation flag
+// inside job; the scheduler itself never drops a slot.
+//
+// wait blocks until every job has delivered its result.
+func ScheduleOrder[R any](workers, n int, order []int, job func(i int) R) (results []chan R, wait func()) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	results = make([]chan R, n)
+	for i := range results {
+		results[i] = make(chan R, 1)
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] <- job(i)
+			}
+		}()
+	}
+	go func() {
+		if order == nil {
+			for i := 0; i < n; i++ {
+				feed <- i
+			}
+		} else {
+			for _, i := range order {
+				feed <- i
+			}
+		}
+		close(feed)
+	}()
+	return results, wg.Wait
+}
+
+// Workers starts fn on n goroutines (worker ids 0..n-1) and returns a
+// function that blocks until all of them return. It is the open-ended
+// counterpart to Schedule for pools that pull work from shared state
+// rather than a job list — the speculative LP workers of the parallel
+// branch-and-bound search claim nodes off the search's own heap.
+func Workers(n int, fn func(worker int)) (wait func()) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(w)
+	}
+	return wg.Wait
+}

@@ -1,0 +1,274 @@
+package simplex
+
+import "math"
+
+// This file holds the factorized basis representation that backs the
+// revised simplex: a sparse LU factorization of the basis matrix with an
+// eta file of rank-one updates (product-form updates kept as sparse eta
+// vectors, the classical cheap half of Forrest-Tomlin). The solver never
+// materializes B^{-1}; it answers the two queries revised simplex needs —
+// FTRAN (B w = a, the entering column in basis coordinates) and BTRAN
+// (B^T y = c_B, the duals) — by triangular solves against L, U, and the
+// eta file. On the encoder's models a basis column touches a handful of
+// rows, so a pivot costs O(nnz) instead of the O(m^2) a dense inverse
+// update pays, and a refactorization costs little more than the fill of
+// L+U instead of Gauss-Jordan's O(m^3).
+//
+// Representation: P B = L U with a row permutation P chosen by partial
+// pivoting, then B' = B E_1 ... E_k after k basis changes, where each
+// E_t is an identity matrix whose column r_t is the FTRAN'd entering
+// column w_t. L is unit lower triangular and U upper triangular, both
+// stored column-wise in permuted row coordinates; the etas live entirely
+// in basis-position coordinates.
+
+// fentry is one stored nonzero of an L/U column or an eta vector.
+type fentry struct {
+	i int // row index (see owner for the coordinate space)
+	v float64
+}
+
+// feta is one product-form update: the basis position r that changed and
+// the FTRAN'd entering column w split as pivot w[r] plus off-pivot
+// entries.
+type feta struct {
+	r    int
+	piv  float64
+	ents []fentry
+}
+
+const (
+	// factorDropTol: entries below this magnitude are treated as exact
+	// zeros when building L, U, or an eta — they carry no information at
+	// the solver's 1e-7 feasibility scale and only cost fill.
+	factorDropTol = 1e-13
+	// factorPivTol: a factorization whose best available pivot in some
+	// column is below this declares the basis singular, matching the old
+	// Gauss-Jordan threshold.
+	factorPivTol = 1e-10
+	// maxEtas bounds the eta file before the solver refactorizes: long
+	// eta chains both slow FTRAN/BTRAN and accumulate the drift the
+	// repair loop exists to flush.
+	maxEtas = 64
+)
+
+// factor is a basis factorization. All storage is reused across
+// refactorizations; newFactor sizes it once per solver lifetime.
+type factor struct {
+	m     int
+	rowOf []int // permuted position -> original row
+	pinv  []int // original row -> permuted position (-1 while factoring)
+
+	lcols [][]fentry // L by column, strictly below-diagonal, permuted rows
+	ucols [][]fentry // U by column, strictly above-diagonal, permuted rows
+	udiag []float64  // U diagonal by column
+	etas  []feta
+
+	work  []float64 // dense scratch, original-row space
+	work2 []float64 // dense scratch, permuted/position space
+}
+
+func newFactor(m int) *factor {
+	return &factor{
+		m:     m,
+		rowOf: make([]int, m),
+		pinv:  make([]int, m),
+		lcols: make([][]fentry, m),
+		ucols: make([][]fentry, m),
+		udiag: make([]float64, m),
+		work:  make([]float64, m),
+		work2: make([]float64, m),
+	}
+}
+
+// identity resets the factorization to the identity basis (the cold
+// slack basis: every slack coefficient is +1). O(m), no pivoting needed.
+func (f *factor) identity() {
+	for i := 0; i < f.m; i++ {
+		f.rowOf[i] = i
+		f.pinv[i] = i
+		f.lcols[i] = f.lcols[i][:0]
+		f.ucols[i] = f.ucols[i][:0]
+		f.udiag[i] = 1
+	}
+	f.etas = f.etas[:0]
+}
+
+// refactorize factors the basis matrix whose k-th column's nonzeros are
+// produced by cols (original-row coordinates), discarding the eta file.
+// Left-looking with partial pivoting; reports false when some column
+// admits no pivot above factorPivTol (singular basis).
+func (f *factor) refactorize(cols func(k int, emit func(row int, v float64))) bool {
+	m := f.m
+	for i := 0; i < m; i++ {
+		f.pinv[i] = -1
+		f.work[i] = 0
+	}
+	f.etas = f.etas[:0]
+	x := f.work
+	for j := 0; j < m; j++ {
+		// Scatter column j, then eliminate against the already-factored
+		// columns: x starts as a_j and becomes L^{-1} P a_j restricted to
+		// the rows seen so far. L columns keep original-row indices until
+		// the whole permutation is known.
+		cols(j, func(r int, v float64) { x[r] += v })
+		for t := 0; t < j; t++ {
+			pt := x[f.rowOf[t]]
+			if pt == 0 {
+				continue
+			}
+			for _, e := range f.lcols[t] {
+				x[e.i] -= e.v * pt
+			}
+		}
+		// Partial pivoting over the rows no earlier column claimed.
+		best, bv := -1, factorPivTol
+		for r := 0; r < m; r++ {
+			if f.pinv[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(x[r]); a > bv {
+				best, bv = r, a
+			}
+		}
+		if best < 0 {
+			// Singular: clear scratch before bailing so later calls see a
+			// clean workspace.
+			for r := 0; r < m; r++ {
+				x[r] = 0
+			}
+			return false
+		}
+		ucol := f.ucols[j][:0]
+		for t := 0; t < j; t++ {
+			r := f.rowOf[t]
+			if v := x[r]; v != 0 {
+				if math.Abs(v) > factorDropTol {
+					ucol = append(ucol, fentry{t, v})
+				}
+				x[r] = 0
+			}
+		}
+		f.ucols[j] = ucol
+		piv := x[best]
+		x[best] = 0
+		f.udiag[j] = piv
+		f.pinv[best] = j
+		f.rowOf[j] = best
+		lcol := f.lcols[j][:0]
+		for r := 0; r < m; r++ {
+			if f.pinv[r] >= 0 || x[r] == 0 {
+				continue
+			}
+			if math.Abs(x[r]) > factorDropTol {
+				lcol = append(lcol, fentry{r, x[r] / piv})
+			}
+			x[r] = 0
+		}
+		f.lcols[j] = lcol
+	}
+	// The permutation is complete: rewrite L's row indices into permuted
+	// coordinates so the triangular solves index one dense scratch.
+	for j := 0; j < m; j++ {
+		col := f.lcols[j]
+		for k := range col {
+			col[k].i = f.pinv[col[k].i]
+		}
+	}
+	return true
+}
+
+// ftran solves B w = a in place: x enters holding a in original-row
+// coordinates and leaves holding w in basis-position coordinates.
+func (f *factor) ftran(x []float64) {
+	m := f.m
+	w := f.work2
+	for t := 0; t < m; t++ {
+		w[t] = x[f.rowOf[t]]
+	}
+	for t := 0; t < m; t++ { // L solve, unit diagonal, forward
+		v := w[t]
+		if v == 0 {
+			continue
+		}
+		for _, e := range f.lcols[t] {
+			w[e.i] -= e.v * v
+		}
+	}
+	for j := m - 1; j >= 0; j-- { // U solve, backward
+		v := w[j]
+		if v == 0 {
+			continue
+		}
+		v /= f.udiag[j]
+		w[j] = v
+		for _, e := range f.ucols[j] {
+			w[e.i] -= e.v * v
+		}
+	}
+	copy(x, w)
+	for k := range f.etas { // eta inverses, oldest first
+		e := &f.etas[k]
+		t := x[e.r] / e.piv
+		if t != 0 {
+			for _, en := range e.ents {
+				x[en.i] -= en.v * t
+			}
+		}
+		x[e.r] = t
+	}
+}
+
+// btran solves B^T y = c in place: c enters in basis-position
+// coordinates and leaves holding y in original-row coordinates.
+func (f *factor) btran(c []float64) {
+	m := f.m
+	for k := len(f.etas) - 1; k >= 0; k-- { // eta transposes, newest first
+		e := &f.etas[k]
+		s := c[e.r]
+		for _, en := range e.ents {
+			s -= en.v * c[en.i]
+		}
+		c[e.r] = s / e.piv
+	}
+	for j := 0; j < m; j++ { // U^T solve, forward
+		s := c[j]
+		for _, e := range f.ucols[j] {
+			s -= e.v * c[e.i]
+		}
+		c[j] = s / f.udiag[j]
+	}
+	for j := m - 1; j >= 0; j-- { // L^T solve, backward
+		s := c[j]
+		for _, e := range f.lcols[j] {
+			s -= e.v * c[e.i]
+		}
+		c[j] = s
+	}
+	w := f.work2
+	for t := 0; t < m; t++ {
+		w[f.rowOf[t]] = c[t]
+	}
+	copy(c, w)
+}
+
+// update appends the product-form eta for a basis change at position r
+// with FTRAN'd entering column w. Reports false when the pivot is too
+// small to invert safely.
+func (f *factor) update(r int, w []float64) bool {
+	piv := w[r]
+	if math.Abs(piv) < 1e-11 {
+		return false
+	}
+	ents := make([]fentry, 0, 8)
+	for i, v := range w {
+		if i != r && math.Abs(v) > factorDropTol {
+			ents = append(ents, fentry{i, v})
+		}
+	}
+	f.etas = append(f.etas, feta{r: r, piv: piv, ents: ents})
+	return true
+}
+
+// needsRefactor reports that the eta file has grown past the point where
+// refactorizing is cheaper (and numerically safer) than continuing.
+func (f *factor) needsRefactor() bool { return len(f.etas) >= maxEtas }

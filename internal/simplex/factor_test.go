@@ -1,0 +1,176 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBasis builds a random m×m matrix with the encoder's sparsity shape
+// (a few nonzeros per column, diagonal bumped to keep it comfortably
+// nonsingular) and returns it column-major.
+func randBasis(rng *rand.Rand, m int) [][]float64 {
+	cols := make([][]float64, m)
+	for j := range cols {
+		cols[j] = make([]float64, m)
+		cols[j][j] = 2 + rng.Float64()
+		for t := 0; t < 3; t++ {
+			cols[j][rng.Intn(m)] += rng.NormFloat64()
+		}
+	}
+	return cols
+}
+
+func matVec(cols [][]float64, x []float64) []float64 {
+	m := len(cols)
+	out := make([]float64, m)
+	for j := 0; j < m; j++ {
+		if x[j] == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			out[i] += cols[j][i] * x[j]
+		}
+	}
+	return out
+}
+
+func matTVec(cols [][]float64, y []float64) []float64 {
+	m := len(cols)
+	out := make([]float64, m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			out[j] += cols[j][i] * y[i]
+		}
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// TestFactorSolves checks FTRAN and BTRAN against the definition on
+// random sparse bases: B·ftran(v) == v and B^T·btran(c) == c.
+func TestFactorSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{1, 2, 5, 17, 60} {
+		cols := randBasis(rng, m)
+		f := newFactor(m)
+		if !f.refactorize(func(k int, emit func(int, float64)) {
+			for i, v := range cols[k] {
+				if v != 0 {
+					emit(i, v)
+				}
+			}
+		}) {
+			t.Fatalf("m=%d: refactorize reported singular on a nonsingular basis", m)
+		}
+		for trial := 0; trial < 5; trial++ {
+			v := make([]float64, m)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			x := append([]float64(nil), v...)
+			f.ftran(x)
+			if d := maxAbsDiff(matVec(cols, x), v); d > 1e-9 {
+				t.Fatalf("m=%d: ftran residual %g", m, d)
+			}
+			c := make([]float64, m)
+			for i := range c {
+				c[i] = rng.NormFloat64()
+			}
+			y := append([]float64(nil), c...)
+			f.btran(y)
+			if d := maxAbsDiff(matTVec(cols, y), c); d > 1e-9 {
+				t.Fatalf("m=%d: btran residual %g", m, d)
+			}
+		}
+	}
+}
+
+// TestFactorEtaUpdate replaces basis columns one at a time via eta
+// updates and checks the solves still match the updated matrix.
+func TestFactorEtaUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := 25
+	cols := randBasis(rng, m)
+	f := newFactor(m)
+	emitCols := func(k int, emit func(int, float64)) {
+		for i, v := range cols[k] {
+			if v != 0 {
+				emit(i, v)
+			}
+		}
+	}
+	if !f.refactorize(emitCols) {
+		t.Fatal("refactorize failed")
+	}
+	for step := 0; step < 40; step++ {
+		// New column a, FTRAN it, then replace basis column r by a.
+		a := make([]float64, m)
+		r := rng.Intn(m)
+		a[r] = 2 + rng.Float64()
+		for tt := 0; tt < 3; tt++ {
+			a[rng.Intn(m)] += rng.NormFloat64()
+		}
+		w := append([]float64(nil), a...)
+		f.ftran(w)
+		if !f.update(r, w) {
+			// Pivot too small for this random replacement: skip it, the
+			// solver would have rejected the pivot the same way.
+			continue
+		}
+		cols[r] = a
+		v := make([]float64, m)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		x := append([]float64(nil), v...)
+		f.ftran(x)
+		if d := maxAbsDiff(matVec(cols, x), v); d > 1e-7 {
+			t.Fatalf("step %d: ftran residual %g after eta update", step, d)
+		}
+		c := make([]float64, m)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		y := append([]float64(nil), c...)
+		f.btran(y)
+		if d := maxAbsDiff(matTVec(cols, y), c); d > 1e-7 {
+			t.Fatalf("step %d: btran residual %g after eta update", step, d)
+		}
+		if f.needsRefactor() {
+			if !f.refactorize(emitCols) {
+				t.Fatal("refactorize failed mid-test")
+			}
+		}
+	}
+}
+
+// TestFactorSingular: a basis with a dependent column must be rejected.
+func TestFactorSingular(t *testing.T) {
+	m := 4
+	cols := [][]float64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{1, 1, 0, 0}, // col0 + col1: rank deficient
+		{0, 0, 0, 1},
+	}
+	f := newFactor(m)
+	if f.refactorize(func(k int, emit func(int, float64)) {
+		for i, v := range cols[k] {
+			if v != 0 {
+				emit(i, v)
+			}
+		}
+	}) {
+		t.Fatal("refactorize accepted a singular basis")
+	}
+}

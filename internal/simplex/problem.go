@@ -10,12 +10,15 @@
 // the QFix paper. Bounds are handled natively (no bound rows), which is
 // what makes branch-and-bound cheap: a branch only tightens one bound.
 //
-// The implementation is a textbook revised simplex with a dense basis
-// inverse, sparse constraint columns, Dantzig pricing with a Bland
-// fallback for anti-cycling, a composite (infeasibility-sum) phase 1,
-// and periodic refactorization for numerical hygiene. It targets the
-// modest problem sizes the QFix encoder produces (hundreds to a few
-// thousand rows); it is not a general-purpose industrial LP code.
+// The implementation is a revised simplex over sparse columns with a
+// factorized basis: a sparse LU factorization (partial pivoting) plus a
+// product-form eta file answers FTRAN/BTRAN, so no dense inverse is ever
+// formed (see factor.go). Pricing is Dantzig with a Bland fallback for
+// anti-cycling, phase 1 is composite (infeasibility-sum), and the basis
+// is refactorized whenever the eta file grows long, for numerical
+// hygiene. It targets the problem sizes the QFix encoder produces
+// (hundreds to a few thousand rows, a handful of nonzeros per row); it
+// is not a general-purpose industrial LP code.
 package simplex
 
 import (
@@ -131,6 +134,39 @@ func (p *Problem) SetBounds(v int, lb, ub float64) {
 // Bounds returns the bounds of variable v.
 func (p *Problem) Bounds(v int) (lb, ub float64) { return p.lb[v], p.ub[v] }
 
+// Obj returns the objective coefficient of variable v.
+func (p *Problem) Obj(v int) float64 { return p.obj[v] }
+
+// Row returns row i's relational operator and right-hand side.
+func (p *Problem) Row(i int) (ConstrOp, float64) { return p.ops[i], p.rhs[i] }
+
+// Col iterates variable v's nonzero constraint coefficients in row-index
+// insertion order. It is the read surface presolve and other analyses
+// build their row-major views from.
+func (p *Problem) Col(v int, f func(row int, coef float64)) {
+	for _, e := range p.cols[v] {
+		f(e.row, e.coef)
+	}
+}
+
+// Clone returns a problem sharing this one's immutable structure (columns,
+// row operators, right-hand sides) with private copies of the mutable
+// per-variable state (bounds and objective). It exists for parallel
+// branch-and-bound: each worker owns a clone so bound changes on one
+// node's path never race another worker's. Neither the clone nor the
+// original may gain variables or rows afterwards — added columns would
+// alias the shared row structure.
+func (p *Problem) Clone() *Problem {
+	return &Problem{
+		obj:  append([]float64(nil), p.obj...),
+		lb:   append([]float64(nil), p.lb...),
+		ub:   append([]float64(nil), p.ub...),
+		cols: p.cols,
+		rhs:  p.rhs,
+		ops:  p.ops,
+	}
+}
+
 // AddConstr adds the row terms op rhs and returns its index. Terms with
 // duplicate variables are summed; zero coefficients are dropped.
 func (p *Problem) AddConstr(terms []Coef, op ConstrOp, rhs float64) int {
@@ -186,4 +222,9 @@ type Solution struct {
 	Obj float64
 	// Iters is the number of simplex iterations performed.
 	Iters int
+	// Refactors counts basis refactorizations performed since the
+	// previous Solution was reported (covering this solve plus any
+	// Install that positioned it). Identity cold starts are free and not
+	// counted.
+	Refactors int
 }

@@ -58,7 +58,15 @@ func (ws *Solver) Install(snap *Snapshot) bool {
 		}
 		inBasis[b] = true
 	}
-	s := &solver{p: ws.p, opt: ws.opt.withDefaults(m, n), m: m, n: n, N: n + m}
+	// Reuse the retained solver's buffers when the shape matches —
+	// branch-and-bound installs a basis per node, so this path must not
+	// allocate.
+	s := ws.inner
+	if s == nil || s.m != m || s.n != n {
+		s = &solver{p: ws.p, m: m, n: n, N: n + m}
+		ws.inner = s
+	}
+	s.opt = ws.opt.withDefaults(m, n)
 	s.init()
 	copy(s.xval, snap.xval)
 	for j := range s.basicPos {
@@ -69,12 +77,12 @@ func (ws *Solver) Install(snap *Snapshot) bool {
 		s.basicPos[b] = i
 	}
 	if !s.refactorize() {
-		return false // singular basis: stay cold
+		ws.initialized = false // singular basis: next Solve starts cold
+		return false
 	}
 	// Clamp nonbasic variables into the problem's current bounds and
-	// recompute the basic values under the fresh inverse.
+	// recompute the basic values under the fresh factorization.
 	s.warmReset()
-	ws.inner = s
 	ws.initialized = true
 	return true
 }

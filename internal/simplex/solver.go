@@ -23,6 +23,11 @@ func NewSolver(p *Problem, opt Options) *Solver {
 	return &Solver{p: p, opt: opt}
 }
 
+// Reset discards any retained basis so the next Solve starts cold. Used
+// where a warm start was rejected and the caller needs a deterministic
+// fallback state rather than "whatever the solver held before".
+func (ws *Solver) Reset() { ws.initialized = false }
+
 // Solve optimizes under the problem's current bounds, warm-starting from
 // the previous basis when one exists.
 func (ws *Solver) Solve() Solution {
@@ -30,7 +35,10 @@ func (ws *Solver) Solve() Solution {
 	opt := ws.opt.withDefaults(m, n)
 	warm := ws.initialized
 	if !warm {
-		ws.inner = &solver{p: ws.p, opt: opt, m: m, n: n, N: n + m}
+		if ws.inner == nil || ws.inner.m != m || ws.inner.n != n {
+			ws.inner = &solver{p: ws.p, m: m, n: n, N: n + m}
+		}
+		ws.inner.opt = opt
 		ws.inner.init()
 		ws.initialized = true
 	} else {
@@ -48,7 +56,7 @@ func (ws *Solver) Solve() Solution {
 	}
 	if warm && (st == IterLimit || st == NumFail || (st == Optimal && !s.solutionValid())) {
 		// The retained basis went stale or numerically sour: retry cold.
-		// (Product-form updates can silently corrupt the basis inverse;
+		// (A long eta file can silently corrupt the factorized basis;
 		// an "optimal" answer violating bounds or rows is the telltale.)
 		s.init()
 		s.iters = 0
@@ -170,73 +178,32 @@ type solver struct {
 	basis    []int     // length m: variable occupying each basis position
 	basicPos []int     // length N: position in basis, or -1
 	xval     []float64 // length N: current value of every variable
-	binv     [][]float64
+	fac      *factor   // sparse LU + eta file of the basis
 
-	w      []float64 // scratch: Binv * A_enter
+	w      []float64 // scratch: B^{-1} A_enter (basis-position space)
+	fx     []float64 // scratch: FTRAN input (original-row space)
 	y      []float64 // scratch: duals
 	dB     []float64 // scratch: phase-1 costs of basic vars
 	iters  int
-	pivots int // lifetime basis changes (drives refactorization)
+	pivots int // lifetime basis changes
+
+	refactorCount int // refactorizations since last reported Solution
 
 	degen int  // consecutive (near-)degenerate pivots
 	bland bool // anti-cycling mode
 }
 
-// refactorize rebuilds Binv from the basis columns by Gauss-Jordan
-// elimination with partial pivoting, flushing the drift accumulated by
-// product-form updates. Reports false when the basis matrix is
-// numerically singular.
+// refactorize rebuilds the sparse LU factorization from the basis
+// columns, flushing the eta file and the drift it accumulated. Reports
+// false when the basis matrix is numerically singular.
 func (s *solver) refactorize() bool {
-	m := s.m
-	b := make([][]float64, m)
-	for i := range b {
-		b[i] = make([]float64, m)
+	ok := s.fac.refactorize(func(k int, emit func(row int, v float64)) {
+		s.colOf(s.basis[k], emit)
+	})
+	if !ok {
+		return false
 	}
-	for k := 0; k < m; k++ {
-		kk := k
-		s.colOf(s.basis[k], func(row int, coef float64) { b[row][kk] = coef })
-	}
-	inv := s.binv
-	for i := range inv {
-		for j := range inv[i] {
-			inv[i][j] = 0
-		}
-		inv[i][i] = 1
-	}
-	for col := 0; col < m; col++ {
-		piv, pivVal := -1, 1e-10
-		for r := col; r < m; r++ {
-			if v := math.Abs(b[r][col]); v > pivVal {
-				piv, pivVal = r, v
-			}
-		}
-		if piv < 0 {
-			return false
-		}
-		b[col], b[piv] = b[piv], b[col]
-		inv[col], inv[piv] = inv[piv], inv[col]
-		d := b[col][col]
-		for j := 0; j < m; j++ {
-			b[col][j] /= d
-			inv[col][j] /= d
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := b[r][col]
-			if f == 0 {
-				continue
-			}
-			for j := 0; j < m; j++ {
-				b[r][j] -= f * b[col][j]
-				inv[r][j] -= f * inv[col][j]
-			}
-		}
-	}
-	// Row order of inv now corresponds to basis positions only up to the
-	// pivoting swaps applied to both matrices in lockstep, which keeps
-	// inv = B^{-1} exactly; recompute basics under the fresh inverse.
+	s.refactorCount++
 	s.computeBasics()
 	return true
 }
@@ -248,11 +215,26 @@ func (p *Problem) Solve(opt Options) Solution {
 	return NewSolver(p, opt).Solve()
 }
 
+// init resets the solver to the canonical cold state: bounds re-read,
+// nonbasic structural variables at their nearest finite bound, slack
+// basis with an identity factorization. Buffers are allocated on first
+// use and reused afterwards, so re-initializing a solver (warm retries,
+// basis installs) costs no allocation.
 func (s *solver) init() {
 	N := s.N
-	s.lb = make([]float64, N)
-	s.ub = make([]float64, N)
-	s.obj = make([]float64, N)
+	if s.fac == nil || len(s.lb) != N {
+		s.lb = make([]float64, N)
+		s.ub = make([]float64, N)
+		s.obj = make([]float64, N)
+		s.basis = make([]int, s.m)
+		s.basicPos = make([]int, N)
+		s.xval = make([]float64, N)
+		s.w = make([]float64, s.m)
+		s.fx = make([]float64, s.m)
+		s.y = make([]float64, s.m)
+		s.dB = make([]float64, s.m)
+		s.fac = newFactor(s.m)
+	}
 	copy(s.lb, s.p.lb)
 	copy(s.ub, s.p.ub)
 	copy(s.obj, s.p.obj)
@@ -268,9 +250,6 @@ func (s *solver) init() {
 		}
 	}
 
-	s.basis = make([]int, s.m)
-	s.basicPos = make([]int, N)
-	s.xval = make([]float64, N)
 	for j := range s.basicPos {
 		s.basicPos[j] = -1
 	}
@@ -279,17 +258,15 @@ func (s *solver) init() {
 	for j := 0; j < s.n; j++ {
 		s.xval[j] = nearestFiniteBound(s.lb[j], s.ub[j])
 	}
-	// Slack basis.
-	s.binv = make([][]float64, s.m)
+	// Slack basis: every slack column is a unit vector, so the
+	// factorization is the identity.
 	for i := 0; i < s.m; i++ {
 		s.basis[i] = s.n + i
 		s.basicPos[s.n+i] = i
-		s.binv[i] = make([]float64, s.m)
-		s.binv[i][i] = 1
 	}
-	s.w = make([]float64, s.m)
-	s.y = make([]float64, s.m)
-	s.dB = make([]float64, s.m)
+	s.fac.identity()
+	s.degen = 0
+	s.bland = false
 	s.computeBasics()
 }
 
@@ -322,9 +299,9 @@ func (s *solver) colOf(j int, f func(row int, coef float64)) {
 }
 
 // computeBasics recomputes the values of all basic variables from
-// scratch: xB = Binv (b - A_N x_N).
+// scratch: xB = B^{-1} (b - A_N x_N), one FTRAN.
 func (s *solver) computeBasics() {
-	r := make([]float64, s.m)
+	r := s.fx
 	copy(r, s.p.rhs)
 	for j := 0; j < s.N; j++ {
 		if s.basicPos[j] >= 0 || s.xval[j] == 0 {
@@ -333,17 +310,10 @@ func (s *solver) computeBasics() {
 		v := s.xval[j]
 		s.colOf(j, func(row int, coef float64) { r[row] -= coef * v })
 	}
+	s.fac.ftran(r)
 	for i := 0; i < s.m; i++ {
-		s.xval[s.basis[i]] = dot(s.binv[i], r)
+		s.xval[s.basis[i]] = r[i]
 	}
-}
-
-func dot(a, b []float64) float64 {
-	v := 0.0
-	for i, x := range a {
-		v += x * b[i]
-	}
-	return v
 }
 
 // infeasibility returns the total bound violation of basic variables and
@@ -369,21 +339,11 @@ func (s *solver) infeasibility() float64 {
 	return total
 }
 
-// computeDuals fills s.y = cB^T Binv for the given basic cost vector.
+// computeDuals fills s.y with the solution of B^T y = cB for the given
+// basic cost vector (one BTRAN); y is indexed by original row.
 func (s *solver) computeDuals(cB []float64) {
-	for k := 0; k < s.m; k++ {
-		s.y[k] = 0
-	}
-	for i := 0; i < s.m; i++ {
-		ci := cB[i]
-		if ci == 0 {
-			continue
-		}
-		row := s.binv[i]
-		for k := 0; k < s.m; k++ {
-			s.y[k] += ci * row[k]
-		}
-	}
+	copy(s.y, cB)
+	s.fac.btran(s.y)
 }
 
 // reducedCost returns c_j - y·A_j.
@@ -536,15 +496,13 @@ func (s *solver) pivot(j, dir int, phase1 bool) Status {
 	ftol := s.opt.FeasTol
 	ptol := 1e-9
 
-	// w = Binv * A_j
-	for i := range s.w {
-		s.w[i] = 0
+	// w = B^{-1} A_j: scatter the sparse column, one FTRAN.
+	for i := range s.fx {
+		s.fx[i] = 0
 	}
-	s.colOf(j, func(row int, coef float64) {
-		for i := 0; i < s.m; i++ {
-			s.w[i] += s.binv[i][row] * coef
-		}
-	})
+	s.colOf(j, func(row int, coef float64) { s.fx[row] += coef })
+	s.fac.ftran(s.fx)
+	copy(s.w, s.fx)
 
 	// Entering variable's own travel limit (bound flip). Measured from
 	// its current value: warm starts can leave a nonbasic variable at an
@@ -691,37 +649,19 @@ func (s *solver) pivot(j, dir int, phase1 bool) Status {
 
 	lv := s.basis[leave]
 	s.xval[lv] = leaveBound // snap leaving variable exactly to its bound
-	piv := s.w[leave]
-	if math.Abs(piv) < 1e-11 {
+	// Product-form update: append one sparse eta instead of touching a
+	// dense inverse. update rejects pivots too small to invert safely.
+	if !s.fac.update(leave, s.w) {
 		return NumFail
-	}
-	// Product-form basis inverse update.
-	prow := s.binv[leave]
-	inv := 1 / piv
-	for k := 0; k < s.m; k++ {
-		prow[k] *= inv
-	}
-	for i := 0; i < s.m; i++ {
-		if i == leave {
-			continue
-		}
-		f := s.w[i]
-		if f == 0 {
-			continue
-		}
-		row := s.binv[i]
-		for k := 0; k < s.m; k++ {
-			row[k] -= f * prow[k]
-		}
 	}
 	s.basicPos[lv] = -1
 	s.basis[leave] = j
 	s.basicPos[j] = leave
 	s.pivots++
 
-	// Periodically flush incremental drift: cheap value recompute often,
-	// full basis refactorization rarely.
-	if s.pivots%256 == 0 {
+	// Flush incremental drift: refactorize when the eta file has grown
+	// long, cheap value recompute in between.
+	if s.fac.needsRefactor() {
 		if !s.refactorize() {
 			return NumFail
 		}
@@ -738,5 +678,7 @@ func (s *solver) result(st Status) Solution {
 	for j := 0; j < s.n; j++ {
 		obj += s.p.obj[j] * x[j]
 	}
-	return Solution{Status: st, X: x, Obj: obj, Iters: s.iters}
+	ref := s.refactorCount
+	s.refactorCount = 0
+	return Solution{Status: st, X: x, Obj: obj, Iters: s.iters, Refactors: ref}
 }

@@ -118,9 +118,9 @@ func TestRefactorizeRestoresInverse(t *testing.T) {
 	}
 	want := sol.Obj
 
-	// Corrupt Binv, then refactorize must rebuild it exactly.
+	// Corrupt the factorization, then refactorize must rebuild it exactly.
 	inner := ws.inner
-	inner.binv[0][0] += 0.5
+	inner.fac.udiag[0] += 0.5
 	if !inner.refactorize() {
 		t.Fatal("refactorize reported singular basis")
 	}
