@@ -28,10 +28,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,7 +44,9 @@ func main() {
 			"concurrent solves across the whole worker, however many connections (0 = GOMAXPROCS, <0 = one at a time)")
 		cache = flag.Int("cache", dist.DefaultWorkerCacheEntries,
 			"decode-cache entries: repeat jobs with the same D0/log skip decode and re-planning (0 disables)")
-		quiet = flag.Bool("quiet", false, "suppress per-job logging")
+		quiet     = flag.Bool("quiet", false, "suppress per-job logging")
+		telemetry = flag.String("telemetry", "",
+			"serve live telemetry on this HTTP address (/metrics Prometheus text, /debug/vars JSON, /debug/pprof/*); empty disables")
 	)
 	flag.Parse()
 
@@ -53,6 +57,23 @@ func main() {
 	srv := &dist.Server{MaxTimeLimit: *maxTL, MaxInflight: *inflt, CacheSize: cacheSize}
 	if !*quiet {
 		srv.Logf = log.Printf
+	}
+
+	if *telemetry != "" {
+		// The telemetry listener binds before the job listener so a
+		// misconfigured address fails fast instead of after jobs started.
+		tl, err := net.Listen("tcp", *telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qfix-worker: telemetry:", err)
+			os.Exit(1)
+		}
+		log.Printf("qfix-worker: telemetry on http://%s/metrics", tl.Addr())
+		go func() {
+			hs := &http.Server{Handler: obs.TelemetryMux(obs.Default())}
+			if err := hs.Serve(tl); err != nil {
+				log.Printf("qfix-worker: telemetry server: %v", err)
+			}
+		}()
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -26,6 +26,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strconv"
 	"strings"
@@ -33,6 +34,7 @@ import (
 
 	qfix "repro"
 	"repro/internal/histstore"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -59,6 +61,8 @@ func main() {
 		single    = flag.Bool("single", false, "assume a single corrupted query (strict candidate filter)")
 		warm      = flag.Bool("warm", false, "warm-start MILP solves from prior solutions (refinement rounds, sibling partitions, and -repeat/-hist runs via a solution cache); repairs stay identical to cold solves")
 		limit     = flag.Duration("timelimit", 60*time.Second, "per-solve time limit")
+		tracePath = flag.String("trace", "", "record a diagnosis trace to this file (.jsonl/.ndjson = span lines, anything else = Chrome trace_event JSON for chrome://tracing)")
+		metrics   = flag.String("metrics", "", "after diagnosing, dump process metrics to this file ('-' = stdout; .json = JSON, otherwise Prometheus text)")
 	)
 	flag.Parse()
 	if *histPath != "" && (*dataPath != "" || *logPath != "") {
@@ -130,6 +134,16 @@ func main() {
 	if *mux && len(opts.Workers) == 0 {
 		fmt.Fprintln(os.Stderr, "qfix: -mux has no effect without -workers; diagnosing locally")
 	}
+	if *verbose {
+		// Same log.Printf sink qfix-worker uses, so coordinator warnings
+		// (slow jobs, retries, fallbacks) read identically on both sides.
+		opts.Logf = log.Printf
+	}
+	var root *obs.Span
+	if *tracePath != "" {
+		root = obs.NewTrace("qfix")
+		opts.Trace = root
+	}
 	switch *algo {
 	case "basic":
 		opts.Algorithm = qfix.Basic
@@ -167,31 +181,19 @@ func main() {
 		}
 	}
 
+	if root != nil {
+		root.End()
+		fatalIf(writeTrace(root, *tracePath))
+	}
+	if *metrics != "" {
+		fatalIf(writeMetrics(*metrics))
+	}
+
 	fmt.Printf("-- diagnosis completed in %v\n", elapsed.Round(time.Millisecond))
-	if rep.Stats.ImpactCacheHits > 0 {
-		fmt.Printf("-- impact cache: %d hits (%d incremental extends)\n",
-			rep.Stats.ImpactCacheHits, rep.Stats.ImpactCacheExtends)
-	}
-	if *warm {
-		fmt.Printf("-- warm starts: %d seeded solves (%d nodes, %d LP iterations total)\n",
-			rep.Stats.WarmSeeds, rep.Stats.Nodes, rep.Stats.LPIters)
-	}
-	if *verbose {
-		fmt.Printf("-- solver: %d nodes, %d LP iterations, %d refactorizations, %d presolved rows\n",
-			rep.Stats.Nodes, rep.Stats.LPIters, rep.Stats.Refactorizations, rep.Stats.PresolvedRows)
-		fmt.Printf("-- model: %d rows, %d vars (%d binary); encode %v, solve %v\n",
-			rep.Stats.Rows, rep.Stats.Vars, rep.Stats.Binaries,
-			rep.Stats.EncodeTime.Round(time.Millisecond), rep.Stats.SolveTime.Round(time.Millisecond))
+	for _, line := range rep.Stats.Format(*verbose) {
+		fmt.Printf("-- %s\n", line)
 	}
 	fmt.Printf("-- complaints resolved: %v; repair distance: %.3f\n", rep.Resolved, rep.Distance)
-	if rep.Stats.Partitions > 0 {
-		fmt.Printf("-- partitions: %d (fallback to joint solve: %v)\n",
-			rep.Stats.Partitions, rep.Stats.PartitionFallback)
-	}
-	if len(opts.Workers) > 0 {
-		fmt.Printf("-- remote jobs: %d of %d partitions (%d streamed over mux; rest solved locally; worker cache hits: %d)\n",
-			rep.Stats.RemoteJobs, rep.Stats.Partitions, rep.Stats.StreamedResults, rep.Stats.WorkerCacheHits)
-	}
 	if len(rep.Changed) == 0 {
 		fmt.Println("-- no queries needed repair")
 	}
@@ -215,6 +217,42 @@ func fatalIf(err error) {
 		fmt.Fprintln(os.Stderr, "qfix:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the finished span tree: JSONL span lines for
+// .jsonl/.ndjson paths, Chrome trace_event JSON otherwise.
+func writeTrace(root *obs.Span, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, root, path); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the process-wide registry: JSON for .json paths,
+// Prometheus text exposition otherwise; "-" writes text to stdout.
+func writeMetrics(path string) error {
+	if path == "-" {
+		return obs.Default().WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".json") {
+		werr = obs.Default().WriteJSON(f)
+	} else {
+		werr = obs.Default().WritePrometheus(f)
+	}
+	if err := f.Close(); err != nil && werr == nil {
+		werr = err
+	}
+	return werr
 }
 
 // parsePool parses a worker-pool size flag: an integer, or "auto" for

@@ -84,9 +84,9 @@ func (r *Runner) FigDistributed() (*Table, error) {
 				coord.Close()
 			}
 			ms, acc, ok := avg(pts)
-			t.Rows = append(t.Rows, Row{Series: s.name, X: fmt.Sprint(nc),
+			t.Rows = append(t.Rows, withPhases(Row{Series: s.name, X: fmt.Sprint(nc),
 				TimeMS: ms, Precision: acc.Precision, Recall: acc.Recall, F1: acc.F1, Solved: ok,
-				Note: distributedNote(pts)})
+				Note: distributedNote(pts)}, pts))
 			r.logf("distributed %s clusters=%d: %.1fms solved=%.2f", s.name, nc, ms, ok)
 		}
 	}

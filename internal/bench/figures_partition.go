@@ -144,9 +144,9 @@ func (r *Runner) FigPartition() (*Table, error) {
 				pts = append(pts, r.measure(in, in.Complaints, opts))
 			}
 			ms, acc, ok := avg(pts)
-			t.Rows = append(t.Rows, Row{Series: s.name, X: fmt.Sprint(nc),
+			t.Rows = append(t.Rows, withPhases(Row{Series: s.name, X: fmt.Sprint(nc),
 				TimeMS: ms, Precision: acc.Precision, Recall: acc.Recall, F1: acc.F1, Solved: ok,
-				Note: partitionNote(pts)})
+				Note: partitionNote(pts)}, pts))
 			r.logf("partition %s clusters=%d: %.1fms solved=%.2f", s.name, nc, ms, ok)
 		}
 	}

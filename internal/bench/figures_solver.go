@@ -66,9 +66,9 @@ func (r *Runner) FigSolver() (*Table, error) {
 				pts = append(pts, r.measure(in, in.Complaints, v.mod(base)))
 			}
 			ms, acc, ok := avg(pts)
-			t.Rows = append(t.Rows, Row{Series: v.name, X: fmt.Sprintf("q%d", idx),
+			t.Rows = append(t.Rows, withPhases(Row{Series: v.name, X: fmt.Sprintf("q%d", idx),
 				TimeMS: ms, Precision: acc.Precision, Recall: acc.Recall, F1: acc.F1, Solved: ok,
-				Note: solverNote(pts)})
+				Note: solverNote(pts)}, pts))
 			r.logf("solver %s idx=%d: %.1fms %s", v.name, idx, ms, solverNote(pts))
 		}
 	}

@@ -173,6 +173,29 @@ func (r *Runner) measure(in *workload.Instance, complaints []core.Complaint, opt
 	return p
 }
 
+// phases aggregates the mean per-phase milliseconds across points —
+// the same Stats timers the CLI's -v breakdown prints, so a BENCH row
+// and a qfix run describe one diagnosis the same way.
+func phases(points []point) (plan, encode, solve, merge float64) {
+	if len(points) == 0 {
+		return 0, 0, 0, 0
+	}
+	n := float64(len(points))
+	for _, p := range points {
+		plan += float64(p.stats.PlanTime.Microseconds()) / 1000
+		encode += float64(p.stats.EncodeTime.Microseconds()) / 1000
+		solve += float64(p.stats.SolveTime.Microseconds()) / 1000
+		merge += float64(p.stats.MergeTime.Microseconds()) / 1000
+	}
+	return plan / n, encode / n, solve / n, merge / n
+}
+
+// withPhases stamps a row with the mean phase breakdown of its points.
+func withPhases(row Row, points []point) Row {
+	row.PlanMS, row.EncodeMS, row.SolveMS, row.MergeMS = phases(points)
+	return row
+}
+
 // avg aggregates repetition points into a table row.
 func avg(points []point) (ms float64, acc workload.Accuracy, okFrac float64) {
 	if len(points) == 0 {

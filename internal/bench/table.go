@@ -17,6 +17,13 @@ type Row struct {
 	// Solved is the fraction of repetitions that produced a verified
 	// repair (timeouts and infeasibility count against it, as in §7.2).
 	Solved float64
+	// Per-phase mean wall time (ms) from Stats' phase timers, so the
+	// BENCH_*.json rows say WHERE the latency went, not just how much
+	// there was. Zero-valued phases are omitted from the JSON.
+	PlanMS   float64 `json:",omitempty"`
+	EncodeMS float64 `json:",omitempty"`
+	SolveMS  float64 `json:",omitempty"`
+	MergeMS  float64 `json:",omitempty"`
 	// Note carries figure-specific extras (model rows, batches, ...).
 	Note string
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/encode"
 	"repro/internal/milp"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -23,20 +24,32 @@ func Diagnose(d0 *relation.Table, log []query.Query, complaints []Complaint, opt
 	}
 	width := d0.Schema().Width()
 
+	span := opt.Trace.Start("diagnose")
+	span.SetAttr("algorithm", opt.Algorithm.String())
+	span.SetAttr("queries", len(log))
+	span.SetAttr("complaints", len(complaints))
+	defer span.End()
+
+	rp := startPhase(span, "replay")
 	dirtyFinal, err := query.Replay(log, d0)
+	replayTime := rp.stop()
 	if err != nil {
 		return nil, fmt.Errorf("core: replaying log: %w", err)
 	}
 	if len(complaints) == 0 {
 		// Nothing to diagnose: the identity repair is optimal.
+		mDiagnoses.Inc()
+		mDiagnosesResolved.Inc()
 		return &Repair{Log: query.CloneLog(log), Resolved: true,
-			Stats: Stats{RelevantQueries: len(log), LastStatus: "trivial"}}, nil
+			Stats: Stats{RelevantQueries: len(log), LastStatus: "trivial",
+				PlanTime: replayTime}}, nil
 	}
 
 	d := &diagnoser{
 		opt: opt, d0: d0, log: log, complaints: complaints,
-		width: width, dirtyFinal: dirtyFinal,
+		width: width, dirtyFinal: dirtyFinal, span: span,
 	}
+	d.stats.PlanTime += replayTime
 	if opt.WarmStart {
 		d.seeds = newSeedBoard()
 	}
@@ -45,7 +58,23 @@ func Diagnose(d0 *relation.Table, log []query.Query, complaints []Complaint, opt
 		d.deadline = time.Now().Add(opt.TotalTimeLimit)
 	}
 
-	if opt.Partition > 0 {
+	rep, err := d.dispatch()
+	mDiagnoses.Inc()
+	if rep != nil {
+		if rep.Resolved {
+			mDiagnosesResolved.Inc()
+		}
+		mPlanSeconds.Observe(rep.Stats.PlanTime.Seconds())
+		mEncodeSeconds.Observe(rep.Stats.EncodeTime.Seconds())
+		mSolveSeconds.Observe(rep.Stats.SolveTime.Seconds())
+	}
+	return rep, err
+}
+
+// dispatch routes the planned diagnosis to the partitioned or joint
+// solve path.
+func (d *diagnoser) dispatch() (*Repair, error) {
+	if d.opt.Partition > 0 {
 		if rep, handled, err := d.partitioned(); handled {
 			return rep, err
 		}
@@ -78,6 +107,7 @@ type diagnoser struct {
 	dirtyFinal *relation.Table
 	deadline   time.Time
 	seeds      *seedBoard // warm-start seed sharing (nil unless WarmStart)
+	span       *obs.Span  // phase spans hang here (nil = tracing off)
 
 	// planning products
 	candidates []int // repair candidates (query slicing or all)
@@ -98,20 +128,22 @@ type diagnoser struct {
 // coordinating diagnosis pays for the FullImpact closure.
 func (d *diagnoser) plan() {
 	d.stats.PlanPasses++
+	pp := startPhase(d.span, "plan")
 	d.dirtyVals = make(map[int64][]float64, d.dirtyFinal.Len())
 	d.dirtyFinal.Rows(func(t relation.Tuple) {
 		d.dirtyVals[t.ID] = append([]float64(nil), t.Values...)
 	})
 	if d.opt.QuerySlicing || d.opt.AttrSlicing || d.opt.Partition > 0 {
-		t0 := time.Now()
+		ip := startPhase(pp.sp, "impact")
 		if d.opt.ImpactCache != nil {
 			d.full = d.opt.ImpactCache.fullImpact(d.log, d.d0.Schema(), d.width, d.opt.LogDigest, &d.stats)
 		} else {
 			d.full = FullImpact(d.log, d.width)
 		}
-		d.stats.ImpactTime += time.Since(t0)
+		d.stats.ImpactTime += ip.stop()
 	}
 	d.planSlices()
+	d.stats.PlanTime += pp.stop()
 }
 
 // adoptPlan initializes a partition sub-diagnoser from its parent's
@@ -178,8 +210,9 @@ func (d *diagnoser) encComplaints() []encode.Complaint {
 // attempt encodes the given parameter set over the given log and solves,
 // returning the repaired log when the solver finds a solution. Solver
 // statistics accumulate into st (shared for the sequential scan,
-// per-worker under the parallel scan).
-func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft []int64, st *Stats) ([]query.Query, bool, error) {
+// per-worker under the parallel scan); encode/seed/solve spans hang
+// under sp (typically a per-batch span).
+func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft []int64, st *Stats, sp *obs.Span) ([]query.Query, bool, error) {
 	eo := d.opt.encOptions()
 	eo.ParamQueries = paramSet
 	eo.TupleIDs = d.tupleIDs
@@ -187,12 +220,14 @@ func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft [
 	eo.FixNonComplaints = !d.opt.TupleSlicing
 	eo.SoftTupleIDs = soft
 
-	t0 := time.Now()
+	ep := startPhase(sp, "encode")
 	res, err := encode.Encode(d.d0, baseLog, d.encComplaints(), eo)
-	st.EncodeTime += time.Since(t0)
+	st.EncodeTime += ep.stop()
 	if err != nil {
 		return nil, false, err
 	}
+	ep.sp.SetAttr("rows", res.Stats.Rows)
+	ep.sp.SetAttr("vars", res.Stats.Vars)
 	st.Rows += res.Stats.Rows
 	st.Vars += res.Stats.Vars
 	st.Binaries += res.Stats.Binaries
@@ -218,14 +253,14 @@ func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft [
 	}
 	var warmKey uint64
 	if d.opt.WarmStart {
-		t1 := time.Now()
+		sdp := startPhase(sp, "seed")
 		if d.opt.SolutionCache != nil {
 			// The key digests D0, the log SQL, and the complaint set —
 			// only worth computing when there is a cache to consult.
 			warmKey = d.solveKey(baseLog, paramSet, soft)
 		}
 		d.seedSolve(res, warmKey, &mopt, st)
-		st.SolveTime += time.Since(t1)
+		st.SolveTime += sdp.stop()
 		if !d.deadline.IsZero() {
 			// The seed completion spent wall clock; re-clamp the main
 			// solve so seeding can never stretch the shared deadline.
@@ -239,15 +274,20 @@ func (d *diagnoser) attempt(baseLog []query.Query, paramSet map[int]bool, soft [
 			}
 		}
 	}
-	t1 := time.Now()
+	svp := startPhase(sp, "solve")
+	mopt.Trace = svp.sp
 	mres, vals := res.SolveOpts(mopt)
-	st.SolveTime += time.Since(t1)
+	st.SolveTime += svp.stop()
+	svp.sp.SetAttr("status", mres.Status.String())
+	svp.sp.SetAttr("nodes", mres.Nodes)
+	svp.sp.SetAttr("lp_iters", mres.LPIters)
 	st.Nodes += mres.Nodes
 	st.LPIters += mres.LPIters
 	st.Refactorizations += mres.Refactorizations
 	st.PresolvedRows += mres.PresolvedRows
 	if mres.SeedUsed {
 		st.WarmSeeds++
+		mWarmSeeds.Inc()
 	}
 	st.LastStatus = mres.Status.String()
 	if !mres.HasSolution {
@@ -283,14 +323,17 @@ func (d *diagnoser) basic() (*Repair, error) {
 	for _, i := range d.candidates {
 		paramSet[i] = true
 	}
-	repaired, ok, err := d.attempt(d.log, paramSet, nil, &d.stats)
+	bsp := d.span.Start("batch")
+	bsp.SetAttr("queries", len(paramSet))
+	defer bsp.End()
+	repaired, ok, err := d.attempt(d.log, paramSet, nil, &d.stats, bsp)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return d.finish(nil), nil
 	}
-	repaired = d.maybeRefine(repaired, paramSet, &d.stats)
+	repaired = d.maybeRefine(repaired, paramSet, &d.stats, bsp)
 	return d.finish(repaired), nil
 }
 
@@ -324,14 +367,19 @@ func (d *diagnoser) incremental() (*Repair, error) {
 		for _, qi := range cands[start:end] {
 			paramSet[qi] = true
 		}
-		repaired, ok, err := d.attempt(d.log, paramSet, nil, &d.stats)
+		bsp := d.span.Start("batch")
+		bsp.SetAttr("queries", len(paramSet))
+		repaired, ok, err := d.attempt(d.log, paramSet, nil, &d.stats, bsp)
 		if err != nil {
+			bsp.End()
 			return nil, err
 		}
 		if !ok {
+			bsp.End()
 			continue
 		}
-		repaired = d.maybeRefine(repaired, paramSet, &d.stats)
+		repaired = d.maybeRefine(repaired, paramSet, &d.stats, bsp)
+		bsp.End()
 		rep := d.finish(repaired)
 		if !rep.Resolved {
 			continue // failed replay verification; scan older batches
@@ -378,7 +426,7 @@ func (d *diagnoser) nonComplaintDamage(repaired []query.Query) int {
 // to a small bound) because excluding one batch of non-complaint tuples
 // can move the repaired clause onto previously untouched tuples the
 // earlier soft set did not cover; the soft set accumulates across rounds.
-func (d *diagnoser) maybeRefine(repaired []query.Query, paramSet map[int]bool, st *Stats) []query.Query {
+func (d *diagnoser) maybeRefine(repaired []query.Query, paramSet map[int]bool, st *Stats, sp *obs.Span) []query.Query {
 	if !d.opt.TupleSlicing || d.opt.SkipRefine {
 		return repaired
 	}
@@ -420,7 +468,10 @@ func (d *diagnoser) maybeRefine(repaired []query.Query, paramSet map[int]bool, s
 		st.Refined = true
 		// Re-encode over the *repaired* log so distance is measured from
 		// the current solution, parameterizing only the repaired queries.
-		refined, ok, err := d.attempt(repaired, paramSet, soft, st)
+		rsp := sp.Start("refine")
+		rsp.SetAttr("soft", len(soft))
+		refined, ok, err := d.attempt(repaired, paramSet, soft, st, rsp)
+		rsp.End()
 		if err != nil || !ok {
 			return repaired
 		}

@@ -136,6 +136,7 @@ func (c *ImpactCache) fullImpact(log []query.Query, sch *relation.Schema, width 
 	if hint != 0 {
 		if full, ok := c.Cached(hint, len(log)); ok {
 			st.ImpactCacheHits++
+			mImpactCacheHits.Inc()
 			return full
 		}
 	}
@@ -146,6 +147,7 @@ func (c *ImpactCache) fullImpact(log []query.Query, sch *relation.Schema, width 
 	key := digests[len(digests)-1]
 	if full, ok := c.Cached(key, len(log)); ok {
 		st.ImpactCacheHits++
+		mImpactCacheHits.Inc()
 		return full
 	}
 	var full []query.AttrSet
@@ -159,8 +161,10 @@ func (c *ImpactCache) fullImpact(log []query.Query, sch *relation.Schema, width 
 	if prefix > 0 {
 		st.ImpactCacheHits++
 		st.ImpactCacheExtends++
+		mImpactCacheHits.Inc()
 		full = ExtendFullImpact(full, log, width)
 	} else {
+		mImpactCacheMisses.Inc()
 		full = FullImpact(log, width)
 	}
 	c.Put(key, len(log), full)

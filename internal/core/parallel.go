@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -38,6 +39,17 @@ func (d *diagnoser) incrementalParallel() (*Repair, error) {
 		return d.finish(nil), nil
 	}
 
+	// Batch spans are pre-created in index order by this (coordinating)
+	// goroutine, so the trace's top-level shape is fixed before any
+	// worker runs; each worker fills in only its own subtree. Which
+	// batches end up skipped still depends on timing — the determinism
+	// pin covers -solver-parallel, not the batch scan.
+	bspans := make([]*obs.Span, len(batches))
+	for bi := range batches {
+		bspans[bi] = d.span.Start("batch")
+		bspans[bi].SetAttr("queries", len(batches[bi]))
+	}
+
 	type outcome struct {
 		repaired []query.Query // nil: no solution for this batch
 		err      error
@@ -45,6 +57,7 @@ func (d *diagnoser) incrementalParallel() (*Repair, error) {
 	}
 	var stop atomic.Bool
 	results, wait := schedule(d.opt.Parallel, len(batches), func(bi int) outcome {
+		defer bspans[bi].End()
 		var st Stats
 		if stop.Load() || (!d.deadline.IsZero() && time.Now().After(d.deadline)) {
 			st.LastStatus = "skipped"
@@ -55,9 +68,9 @@ func (d *diagnoser) incrementalParallel() (*Repair, error) {
 		for _, qi := range batch {
 			paramSet[qi] = true
 		}
-		repaired, ok, err := d.attempt(d.log, paramSet, nil, &st)
+		repaired, ok, err := d.attempt(d.log, paramSet, nil, &st, bspans[bi])
 		if err == nil && ok {
-			repaired = d.maybeRefine(repaired, paramSet, &st)
+			repaired = d.maybeRefine(repaired, paramSet, &st, bspans[bi])
 		} else {
 			repaired = nil
 		}
@@ -138,6 +151,8 @@ func (d *diagnoser) mergeStats(st Stats) {
 	d.stats.PresolvedRows += st.PresolvedRows
 	d.stats.EncodeTime += st.EncodeTime
 	d.stats.SolveTime += st.SolveTime
+	d.stats.PlanTime += st.PlanTime
+	d.stats.MergeTime += st.MergeTime
 	d.stats.PlanPasses += st.PlanPasses
 	d.stats.RemoteJobs += st.RemoteJobs
 	d.stats.StreamedResults += st.StreamedResults

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -236,17 +238,41 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 	sub.PartitionSolver = nil
 	sub.Workers = nil
 
+	// Partition spans are pre-created in plan (index) order by this
+	// goroutine, so the trace's partition list is deterministic
+	// regardless of the largest-first start order or which worker slot
+	// runs which job; each job fills in only its own subtree. The queue
+	// child measures how long the partition waited for a pool slot.
+	pspans := make([]*obs.Span, len(parts))
+	qspans := make([]*obs.Span, len(parts))
+	created := make([]time.Time, len(parts))
+	for i := range parts {
+		pspans[i] = d.span.Start(fmt.Sprintf("partition[%d]", i))
+		pspans[i].SetAttr("complaints", len(parts[i].complaintIdx))
+		pspans[i].SetAttr("candidates", len(parts[i].candidates))
+		qspans[i] = pspans[i].Start("queue")
+		created[i] = time.Now()
+	}
+
 	type outcome struct {
-		rep *Repair
-		err error
+		rep       *Repair
+		err       error
+		queueWait time.Duration
+		solve     time.Duration
 	}
 	results, wait := scheduleOrder(d.opt.Partition, len(parts), largestFirst(parts), func(i int) outcome {
+		jobStart := time.Now()
+		qspans[i].End()
+		defer pspans[i].End()
+		out := outcome{queueWait: jobStart.Sub(created[i])}
 		o := sub
+		o.Trace = pspans[i]
 		if !d.deadline.IsZero() {
 			remain := time.Until(d.deadline)
 			if remain <= 0 {
-				return outcome{rep: &Repair{Log: query.CloneLog(d.log),
-					Stats: Stats{LastStatus: "total-time-limit"}}}
+				out.rep = &Repair{Log: query.CloneLog(d.log),
+					Stats: Stats{LastStatus: "total-time-limit"}}
+				return out
 			}
 			o.TotalTimeLimit = remain
 		}
@@ -256,12 +282,13 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 			cs[j] = d.complaints[ci]
 		}
 		if d.opt.PartitionSolver != nil {
-			rep, err := d.opt.PartitionSolver.SolvePartition(
+			out.rep, out.err = d.opt.PartitionSolver.SolvePartition(
 				Subproblem{D0: d.d0, Log: d.log, Complaints: cs, Options: o})
-			return outcome{rep: rep, err: err}
+		} else {
+			out.rep, out.err = d.solveSub(cs, o)
 		}
-		rep, err := d.solveSub(cs, o)
-		return outcome{rep: rep, err: err}
+		out.solve = time.Since(jobStart)
+		return out
 	})
 	defer wait()
 
@@ -269,6 +296,22 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 	var firstErr error
 	for i := range parts {
 		out := <-results[i]
+		ps := PartitionStat{
+			Index:      i,
+			Complaints: len(parts[i].complaintIdx),
+			Candidates: len(parts[i].candidates),
+			QueueWait:  out.queueWait,
+			Solve:      out.solve,
+		}
+		if out.rep != nil {
+			st := out.rep.Stats
+			ps.Remote = st.RemoteJobs > 0
+			ps.Worker = st.WorkerAddr
+			ps.Attempts = st.DispatchAttempts
+			ps.Nodes = st.Nodes
+			ps.Status = st.LastStatus
+		}
+		d.stats.PartitionStats = append(d.stats.PartitionStats, ps)
 		if out.err != nil {
 			if firstErr == nil {
 				firstErr = out.err
@@ -294,6 +337,9 @@ func (d *diagnoser) solveSub(cs []Complaint, o Options) (*Repair, error) {
 	o = o.withDefaults()
 	sub := &diagnoser{opt: o, d0: d.d0, log: d.log, complaints: cs,
 		width: d.width, dirtyFinal: d.dirtyFinal,
+		// The sub-diagnosis hangs its batch spans directly under the
+		// partition's span (no nested "diagnose" level).
+		span: o.Trace,
 		// Sibling partitions share the parent's seed board, so the
 		// largest (first-finishing) solve seeds any later sibling that
 		// shares log coordinates with it.
@@ -323,16 +369,24 @@ func (d *diagnoser) solveSub(cs []Complaint, o Options) (*Repair, error) {
 //     interference through tuples outside the complaint attributes) →
 //     fall back to a joint solve.
 func (d *diagnoser) mergePartitionRepairs(parts []partition, reps []*Repair) (*Repair, error) {
+	// The merge phase covers parameter stitching, conflict resolution,
+	// and the full-complaint re-verification; a fallback joint solve is
+	// charged to the solve phases it runs, not to MergeTime. The phase
+	// is stopped (exactly once per path) before any finish() snapshot or
+	// fallback so rep.Stats carries the final MergeTime.
+	mp := startPhase(d.span, "merge")
 	merged, conflicts := applyPartitionParams(d.log, reps)
 	if len(conflicts) > 0 {
 		d.stats.PartitionFallback = true
 		var err error
 		parts, reps, err = d.resolveConflicts(parts, reps, conflicts)
 		if err != nil {
+			d.stats.MergeTime += mp.stop()
 			return nil, err
 		}
 		merged, conflicts = applyPartitionParams(d.log, reps)
 		if len(conflicts) > 0 {
+			d.stats.MergeTime += mp.stop()
 			return d.solveJoint()
 		}
 	}
@@ -348,6 +402,7 @@ func (d *diagnoser) mergePartitionRepairs(parts []partition, reps []*Repair) (*R
 		}
 	}
 	if !allResolved {
+		d.stats.MergeTime += mp.stop()
 		return d.finish(nil), nil
 	}
 
@@ -357,8 +412,11 @@ func (d *diagnoser) mergePartitionRepairs(parts []partition, reps []*Repair) (*R
 		// violates a complaint: the partitions interfered outside the
 		// attribute sets the planner reasons about. Solve jointly.
 		d.stats.PartitionFallback = true
+		d.stats.MergeTime += mp.stop()
 		return d.solveJoint()
 	}
+	d.stats.MergeTime += mp.stop()
+	rep.Stats = d.stats // refresh: finish() snapshotted before MergeTime landed
 	return rep, nil
 }
 

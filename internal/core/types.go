@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/encode"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -198,6 +199,21 @@ type Options struct {
 	// repairs and solver stats are byte-identical at any setting.
 	SolverParallel int
 
+	// Trace, when non-nil, is the parent span the diagnosis hangs its
+	// phase spans under (internal/obs): replay, plan (with the impact
+	// closure), per-batch encode/seed/solve, per-partition subtrees with
+	// queue waits, MILP presolve and node batches, and the merge. Nil
+	// (the default) disables tracing at near-zero cost — every span
+	// operation is a nil no-op. Opaque to the wire protocol: subproblems
+	// shipped to remote workers solve untraced, and the coordinator
+	// records their dispatch/wire segments client-side instead.
+	Trace *obs.Span
+	// Logf, when non-nil, receives structured operational warnings from
+	// the engine and the distributed coordinator (slow jobs, retries)
+	// as printf-style calls. Nil discards them. Like Trace, opaque to
+	// the wire protocol.
+	Logf func(format string, args ...any)
+
 	// Ablation switches (extensions beyond the paper; see DESIGN.md):
 	// NoFolding disables the encoder's constant-folding presolve,
 	// NoParamWindows disables predicate-parameter window tightening,
@@ -291,14 +307,57 @@ type Stats struct {
 	// by the MILP root presolve (milp/presolve.go).
 	Refactorizations int
 	PresolvedRows    int
-	// EncodeTime and SolveTime split the wall clock.
+	// PlanTime, EncodeTime, SolveTime, and MergeTime split the wall
+	// clock by pipeline phase. PlanTime covers the log replay, the
+	// FullImpact closure (ImpactTime is the subset spent there), and
+	// slicing; MergeTime covers stitching and re-verifying partition
+	// repairs. All four are derived from the same instrumentation points
+	// as the trace spans (Options.Trace), so the CLI, bench, and wire
+	// report one consistent truth.
+	PlanTime   time.Duration
 	EncodeTime time.Duration
 	SolveTime  time.Duration
+	MergeTime  time.Duration
+	// PartitionStats breaks a partitioned diagnosis down per partition,
+	// in plan (index) order; empty when partitioning found fewer than
+	// two components. Conflict re-solves append additional entries.
+	// Coordinator-level only: never merged upward from sub-diagnoses.
+	PartitionStats []PartitionStat
+	// WorkerAddr and DispatchAttempts are stamped by the distributed
+	// coordinator onto each partition repair's Stats: the address of the
+	// worker that solved the job ("local" after fallback) and how many
+	// dispatch attempts it took. Per-job fields — read into
+	// PartitionStats during collection, never merged into totals.
+	WorkerAddr       string
+	DispatchAttempts int
 	// Refined tells whether the step-2 refinement ran.
 	Refined bool
 	// LastStatus is the MILP status of the final (successful or last
 	// attempted) solve.
 	LastStatus string
+}
+
+// PartitionStat is one partition's slice of a partitioned diagnosis.
+type PartitionStat struct {
+	// Index is the partition's plan-order index.
+	Index int
+	// Complaints and Candidates size the subproblem.
+	Complaints int
+	Candidates int
+	// QueueWait is how long the partition sat scheduled before a worker
+	// slot started it; Solve is the wall clock of the solve itself
+	// (including wire time on the distributed path).
+	QueueWait time.Duration
+	Solve     time.Duration
+	// Remote tells whether a remote worker solved the partition; Worker
+	// is its address ("local" when the coordinator fell back) and
+	// Attempts the dispatch attempts spent (0 on the purely local path).
+	Remote   bool
+	Worker   string
+	Attempts int
+	// Nodes and Status summarize the partition's solve.
+	Nodes  int
+	Status string
 }
 
 // Repair is a log repair Q* (Definition 5) plus bookkeeping.

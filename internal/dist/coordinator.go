@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -144,37 +145,50 @@ const transportSlack = 10 * time.Second
 // budget exhausted returns the engine's "total-time-limit" outcome
 // instead of solving on borrowed time.
 func (c *Coordinator) SolvePartition(sub core.Subproblem) (*core.Repair, error) {
+	// The engine hands each partition its own span via Options.Trace;
+	// dispatch attempts and the local fallback hang under it so a traced
+	// distributed run shows exactly where every partition's time went.
+	sp := sub.Options.Trace
 	var deadline time.Time
 	if sub.Options.TotalTimeLimit > 0 {
 		deadline = time.Now().Add(sub.Options.TotalTimeLimit)
 	}
 	if len(c.transports) > 0 {
+		mDistJobs.Inc()
 		job, err := c.encodeJob(c.nextJobID.Add(1), sub)
 		if err == nil {
-			if rep, ok := c.dispatch(job, deadline); ok {
+			if rep, ok := c.dispatch(job, deadline, sp); ok {
 				return rep, nil
 			}
 		} else {
 			c.logf("dist: job encode failed, solving locally: %v", err)
 		}
+		mDistFallbacks.Inc()
 	}
 	c.localJobs.Add(1)
+	lsp := sp.Start("local")
+	defer lsp.End()
+	sub.Options.Trace = lsp // the fallback solve's own spans nest under it
 	if !deadline.IsZero() {
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			return &core.Repair{Log: query.CloneLog(sub.Log),
-				Stats: core.Stats{LastStatus: "total-time-limit"}}, nil
+				Stats: core.Stats{LastStatus: "total-time-limit", WorkerAddr: "local"}}, nil
 		}
 		sub.Options.TotalTimeLimit = remain
 	}
-	return sub.SolveLocal()
+	rep, err := sub.SolveLocal()
+	if rep != nil {
+		rep.Stats.WorkerAddr = "local"
+	}
+	return rep, err
 }
 
 // dispatch tries the job on up to 1+Retries distinct workers within the
 // job's deadline (zero = no budget, each attempt gets JobTimeout).
 // ok=false means every attempt failed and the caller should solve
 // locally.
-func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool) {
+func (c *Coordinator) dispatch(job *Job, deadline time.Time, sp *obs.Span) (*core.Repair, bool) {
 	attempts := 1 + c.cfg.Retries
 	if attempts > len(c.transports) {
 		attempts = len(c.transports)
@@ -187,6 +201,9 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 	// modulo index would panic.
 	start := int((c.next.Add(1) - 1) % uint64(len(c.transports)))
 	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			mDistRetries.Inc()
+		}
 		t := c.transports[(start+a)%len(c.transports)]
 		timeout := c.cfg.JobTimeout
 		if !deadline.IsZero() {
@@ -218,12 +235,31 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 		// admission-queue wait, which the worker measures on its own
 		// clock from frame arrival).
 		attempt.AttemptTTLNS = int64(timeout)
+		asp := sp.Start("attempt")
+		asp.SetAttr("worker", t.Addr())
+		asp.SetAttr("attempt", a+1)
+		attemptStart := time.Now()
+		// Arm the slow-job warning: half the attempt window gone with no
+		// result yet is worth a line NOW, while the operator can still see
+		// which worker is sitting on the job — not after the timeout has
+		// already burned a retry share of the budget.
+		warn := time.AfterFunc(timeout/2, func() {
+			mDistSlowJobs.Inc()
+			c.logf("dist: warn slow-job job=%d worker=%s attempt=%d/%d elapsed=%v budget_left=%s",
+				job.ID, t.Addr(), a+1, attempts,
+				time.Since(attemptStart).Round(time.Millisecond), budgetLeft(deadline))
+		})
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		res, err := t.Do(ctx, &attempt)
 		cancel()
+		warn.Stop()
+		wire := time.Since(attemptStart)
 		if err != nil {
-			c.logf("dist: job %d on %s failed (attempt %d/%d): %v",
-				job.ID, t.Addr(), a+1, attempts, err)
+			asp.SetAttr("outcome", "transport-error")
+			asp.End()
+			c.logf("dist: warn retry job=%d worker=%s attempt=%d/%d elapsed=%v budget_left=%s err=%q",
+				job.ID, t.Addr(), a+1, attempts, wire.Round(time.Millisecond),
+				budgetLeft(deadline), err)
 			continue
 		}
 		rep, err := DecodeResult(res)
@@ -232,7 +268,11 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 			// error would hit the local engine too, but the local
 			// fallback keeps the no-lost-instances guarantee cheap to
 			// state, so take it rather than guessing.
-			c.logf("dist: job %d on %s rejected: %v", job.ID, t.Addr(), err)
+			asp.SetAttr("outcome", "rejected")
+			asp.End()
+			c.logf("dist: warn retry job=%d worker=%s attempt=%d/%d elapsed=%v budget_left=%s rejected=%q",
+				job.ID, t.Addr(), a+1, attempts, wire.Round(time.Millisecond),
+				budgetLeft(deadline), err)
 			continue
 		}
 		if !rep.Resolved {
@@ -242,16 +282,33 @@ func (c *Coordinator) dispatch(job *Job, deadline time.Time) (*core.Repair, bool
 			// instance the local engine can solve. Try elsewhere, then
 			// re-solve locally; a genuinely unsolvable partition costs
 			// one redundant local attempt under the same budget.
-			c.logf("dist: job %d on %s came back unresolved (%s); not trusting it",
-				job.ID, t.Addr(), rep.Stats.LastStatus)
+			asp.SetAttr("outcome", "unresolved")
+			asp.End()
+			c.logf("dist: warn retry job=%d worker=%s attempt=%d/%d elapsed=%v budget_left=%s unresolved=%s",
+				job.ID, t.Addr(), a+1, attempts, wire.Round(time.Millisecond),
+				budgetLeft(deadline), rep.Stats.LastStatus)
 			continue
 		}
+		mDistWireSeconds.Observe(wire.Seconds())
 		rep.Stats.RemoteJobs = 1
+		rep.Stats.WorkerAddr = t.Addr()
+		rep.Stats.DispatchAttempts = a + 1
+		asp.SetAttr("outcome", rep.Stats.LastStatus)
+		asp.End()
 		c.remoteJobs.Add(1)
 		return rep, true
 	}
 	c.logf("dist: job %d exhausted its worker attempts; solving locally", job.ID)
 	return nil, false
+}
+
+// budgetLeft renders what remains of the job's total budget for the
+// dispatch warnings ("none" when the job carries no budget).
+func budgetLeft(deadline time.Time) string {
+	if deadline.IsZero() {
+		return "none"
+	}
+	return time.Until(deadline).Round(time.Millisecond).String()
 }
 
 // attemptTimeout bounds one dispatch attempt against the job's budget.
@@ -371,7 +428,7 @@ func (c *Coordinator) Diagnose(d0 *relation.Table, log []query.Query,
 // hold a Connect'ed coordinator instead to amortize them).
 func DiagnoseWorkers(workers []string, d0 *relation.Table, log []query.Query,
 	complaints []core.Complaint, opt core.Options) (*core.Repair, error) {
-	coord := Connect(Config{Mux: opt.MuxWorkers}, workers...)
+	coord := Connect(Config{Mux: opt.MuxWorkers, Logf: opt.Logf}, workers...)
 	defer coord.Close()
 	return coord.Diagnose(d0, log, complaints, opt)
 }

@@ -341,6 +341,11 @@ func (t *MuxTransport) connection(ctx context.Context) (net.Conn, error) {
 			conn.Close()
 			return nil, fmt.Errorf("dist: %s: %w", t.addr, net.ErrClosed)
 		}
+		if t.gen > 0 {
+			// gen moves only on successful dials and teardowns, so a
+			// nonzero value here means this dial replaced a broken link.
+			mDistReconnects.Inc()
+		}
 		t.conn = conn
 		t.gen++
 		go t.readLoop(conn, t.gen)

@@ -143,10 +143,15 @@ func (s *Server) handle(conn net.Conn) {
 		// the blocking read loop is deliberate backpressure, and the
 		// coordinator's write deadline bounds that side.)
 		arrival := time.Now()
+		mWorkerQueueDepth.Add(1)
 		sem <- struct{}{} // admission: at most MaxInflight concurrent solves
+		mWorkerQueueDepth.Add(-1)
+		mWorkerJobs.Inc()
+		mWorkerInflight.Add(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer mWorkerInflight.Add(-1)
 			defer func() { <-sem }()
 			ctx := context.Background()
 			if job.AttemptTTLNS > 0 {
@@ -158,10 +163,11 @@ func (s *Server) handle(conn net.Conn) {
 			start := time.Now()
 			s.capLimits(job)
 			res := solveJob(ctx, job, s.workerCache())
-			s.logf("dist: job %d from %s: complaints=%d resolved=%v cachehit=%d err=%q (%v)",
+			elapsed := time.Since(start)
+			mWorkerJobSeconds.Observe(elapsed.Seconds())
+			s.logf("dist: job %d from %s: complaints=%d resolved=%v err=%q %s (%v)",
 				job.ID, conn.RemoteAddr(), len(job.Complaints), res.Resolved,
-				res.Stats.WorkerCacheHits, res.Err,
-				time.Since(start).Round(time.Millisecond))
+				res.Err, res.Stats.Brief(), elapsed.Round(time.Millisecond))
 			writeMu.Lock()
 			// Bound the write: a peer that stalls without closing the
 			// connection must cost its result, not wedge this solve

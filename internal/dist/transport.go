@@ -137,6 +137,7 @@ func solveJob(ctx context.Context, job *Job, wc *workerCache) *Result {
 			sub = core.Subproblem{D0: d0, Log: lg,
 				Complaints: job.Complaints, Options: decodeOptions(job.Options)}
 			cached = true
+			mWorkerCacheHits.Inc()
 		}
 	}
 	if !cached {
@@ -146,6 +147,7 @@ func solveJob(ctx context.Context, job *Job, wc *workerCache) *Result {
 			return &Result{Version: v, ID: job.ID, Err: err.Error()}
 		}
 		if wc != nil && key.d0 != 0 && key.log != 0 {
+			mWorkerCacheMisses.Inc()
 			wc.store(key, sub.D0, sub.Log)
 		}
 	}

@@ -121,6 +121,7 @@ func Create(dir string, d0 *relation.Table) (*Store, error) {
 		return nil, err
 	}
 	syncDir(dir)
+	mOpens.Inc()
 	return &Store{dir: dir, schema: sch, d0: d0.Clone(), logF: logF, gen: gen,
 		digest: core.DigestSeed(sch), cache: core.NewImpactCache(0),
 		solutions: core.NewSolutionCache(0)}, nil
@@ -380,6 +381,7 @@ func Open(dir string) (*Store, error) {
 	for _, q := range log {
 		s.digest = core.DigestStep(s.digest, sch, q)
 	}
+	mOpens.Inc()
 	return s, nil
 }
 
@@ -442,6 +444,7 @@ func (s *Store) Append(q query.Query) error {
 	s.log = append(s.log, q.Clone())
 	s.digest = core.DigestStep(s.digest, s.schema, q)
 	s.extendImpact()
+	mAppends.Inc()
 	return nil
 }
 
@@ -500,6 +503,7 @@ func (s *Store) Diagnose(complaints []core.Complaint, opt core.Options) (*core.R
 	if opt.LogDigest == 0 {
 		opt.LogDigest = s.digest // exact-hit fast path: no SQL re-rendering
 	}
+	mDiagnoses.Inc()
 	var rep *core.Repair
 	var err error
 	if len(opt.Workers) > 0 && opt.PartitionSolver == nil {
@@ -566,5 +570,6 @@ func (s *Store) Checkpoint() error {
 	s.gen = gen
 	s.digest = core.DigestSeed(s.schema)
 	s.impact = nil
+	mCheckpoints.Inc()
 	return nil
 }

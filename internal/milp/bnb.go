@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simplex"
 
 	"repro/internal/sched"
@@ -156,6 +157,16 @@ type search struct {
 	unbounded bool
 	seeded    bool
 
+	// Tracing (driver-only). Node consumption is grouped into "nodes"
+	// spans of nodeBatch consumed nodes each — one span per node would
+	// dwarf the trace on big searches. Because only the driver consumes
+	// nodes, and consumption order is deterministic, the batch spans are
+	// part of the pinned trace structure.
+	span       *obs.Span // parent from Options.Trace (nil = off)
+	batchSp    *obs.Span
+	batchFrom  int
+	batchIters int
+
 	incBasis *simplex.Snapshot // end basis of the incumbent's node
 	rootEnd  *simplex.Snapshot // end basis of the root relaxation
 
@@ -178,12 +189,16 @@ type search struct {
 func (m *Model) Solve(opt Options) Result {
 	opt = opt.withDefaults()
 
+	psp := opt.Trace.Start("presolve")
 	var ps *presolved
 	if opt.NoPresolve {
 		ps = identityPresolve(m.prob, m.isInt)
 	} else {
 		ps = presolve(m.prob, m.isInt)
 	}
+	psp.SetAttr("rows_dropped", ps.rowsDropped)
+	psp.SetAttr("vars_fixed", ps.varsFixed)
+	psp.End()
 	if ps.infeasible {
 		return Result{
 			Status:        Infeasible,
@@ -192,7 +207,7 @@ func (m *Model) Solve(opt Options) Result {
 		}
 	}
 
-	s := &search{model: m, ps: ps, opt: opt, fixedObj: ps.fixedObj, incObj: math.Inf(1)}
+	s := &search{model: m, ps: ps, opt: opt, fixedObj: ps.fixedObj, incObj: math.Inf(1), span: opt.Trace}
 	s.cond = sync.NewCond(&s.mu)
 	n := ps.prob.NumVars()
 	s.rootLB = make([]float64, n)
@@ -223,6 +238,7 @@ func (m *Model) Solve(opt Options) Result {
 	}
 	env := s.newEnv()
 	s.run(env)
+	s.closeBatch()
 	s.mu.Lock()
 	s.done = true
 	s.cond.Broadcast()
@@ -287,6 +303,9 @@ func (s *search) run(env *probEnv) {
 		// relaxation can only be weaker than (or equal to) its parent's.
 		if s.hasInc && n.bound >= s.pruneLim() {
 			continue
+		}
+		if s.span != nil && (s.batchSp == nil || s.nodes-s.batchFrom >= nodeBatch) {
+			s.rollBatch()
 		}
 		sol, end := s.obtain(n, env)
 		s.nodes++
@@ -628,6 +647,30 @@ func (s *search) polish(n *node, x []float64, end *simplex.Snapshot, env *probEn
 		return nil, nil, false
 	}
 	return px, pend, true
+}
+
+// nodeBatch is how many consumed nodes share one "nodes" trace span.
+const nodeBatch = 256
+
+// rollBatch closes the current node-batch span and opens the next.
+// Driver-only: batch boundaries depend only on the (deterministic)
+// consumed-node count, so the spans are part of the pinned structure.
+func (s *search) rollBatch() {
+	s.closeBatch()
+	s.batchSp = s.span.Start("nodes")
+	s.batchFrom = s.nodes
+	s.batchIters = s.lpIters
+}
+
+// closeBatch stamps and ends the open node-batch span, if any.
+func (s *search) closeBatch() {
+	if s.batchSp == nil {
+		return
+	}
+	s.batchSp.SetAttr("nodes", s.nodes-s.batchFrom)
+	s.batchSp.SetAttr("lp_iters", s.lpIters-s.batchIters)
+	s.batchSp.End()
+	s.batchSp = nil
 }
 
 func (s *search) limitHit() bool {

@@ -12,6 +12,7 @@ package milp
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simplex"
 )
 
@@ -213,6 +214,14 @@ type Options struct {
 	// variable shape). Mismatched or singular bases are rejected and the
 	// root LP starts cold. Ignored under ColdLP.
 	Basis *simplex.Snapshot
+
+	// Trace, when non-nil, is the parent span under which the solve
+	// records its internals: one "presolve" span and one "nodes" span per
+	// batch of consumed branch-and-bound nodes. Spans are created only by
+	// the deterministic driver, so the trace's shape is byte-identical at
+	// any Parallel setting (node consumption itself is). Nil disables
+	// tracing at near-zero cost.
+	Trace *obs.Span
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// TelemetryMux builds the HTTP handler behind qfix-worker's
+// `-telemetry <addr>` listener:
+//
+//	/metrics     Prometheus text exposition of r
+//	/debug/vars  the same metrics as JSON
+//	/debug/pprof pprof profiles (CPU, heap, goroutine, ...)
+//
+// pprof handlers are mounted on this private mux explicitly rather than
+// via the net/http/pprof side-effect import, so nothing leaks onto
+// http.DefaultServeMux.
+func TelemetryMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTelemetryEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qfix_test_total", "test counter").Add(9)
+	r.Histogram("qfix_test_seconds", "test hist", []float64{1}).Observe(0.25)
+	srv := httptest.NewServer(TelemetryMux(r))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ctype)
+	}
+	for _, want := range []string{
+		"qfix_test_total 9",
+		"# TYPE qfix_test_seconds histogram",
+		`qfix_test_seconds_bucket{le="1"} 1`,
+		`qfix_test_seconds_bucket{le="+Inf"} 1`,
+		"qfix_test_seconds_count 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	vars, ctype := get("/debug/vars")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/debug/vars content-type = %q", ctype)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(vars), &parsed); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if parsed["qfix_test_total"] != float64(9) {
+		t.Fatalf("/debug/vars qfix_test_total = %v", parsed["qfix_test_total"])
+	}
+
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}

@@ -5,7 +5,22 @@
 // live below all of them.
 package sched
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Process-wide gauges on obs.Default(): how many scheduler jobs are
+// waiting in feeds and how many pool goroutines are live right now.
+// Updated with one atomic op per job/worker transition — invisible next
+// to the MILP solves the jobs carry.
+var (
+	mQueueDepth = obs.Default().Gauge("qfix_sched_queue_depth",
+		"Scheduler jobs submitted but not yet started, across all active pools.")
+	mWorkers = obs.Default().Gauge("qfix_sched_workers",
+		"Live scheduler pool goroutines (Schedule/ScheduleOrder/Workers).")
+)
 
 // Schedule fans jobs 0..n-1 out over a pool of at most workers
 // concurrent goroutines, starting them in index order.
@@ -44,13 +59,17 @@ func ScheduleOrder[R any](workers, n int, order []int, job func(i int) R) (resul
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		mWorkers.Add(1)
 		go func() {
 			defer wg.Done()
+			defer mWorkers.Add(-1)
 			for i := range feed {
+				mQueueDepth.Add(-1)
 				results[i] <- job(i)
 			}
 		}()
 	}
+	mQueueDepth.Add(int64(n))
 	go func() {
 		if order == nil {
 			for i := 0; i < n; i++ {
@@ -75,8 +94,10 @@ func Workers(n int, fn func(worker int)) (wait func()) {
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
+		mWorkers.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			defer mWorkers.Add(-1)
 			fn(id)
 		}(w)
 	}

@@ -204,6 +204,7 @@ func (s *solver) refactorize() bool {
 		return false
 	}
 	s.refactorCount++
+	mRefactorizations.Inc()
 	s.computeBasics()
 	return true
 }
