@@ -1,0 +1,183 @@
+// Command qfix-vet runs the qfix static-analysis suite (detmap,
+// ctxloop, spanend, detclock — see internal/analysis) over Go packages.
+// It runs two ways:
+//
+//	qfix-vet ./...                     # standalone, like go vet
+//	go vet -vettool=$(which qfix-vet) ./...
+//
+// Standalone mode loads and type-checks packages itself via `go list
+// -export` and exits 1 if any diagnostic survives the //qfix:*-ok
+// directives. Vettool mode speaks the unit-checker protocol the go
+// command drives: respond to -V=full (cache key) and -flags, then
+// analyze single compilation units described by *.cfg files, with
+// imports satisfied from the export-data map the go command hands us.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// Vet tool protocol probes come before flag parsing: the go command
+	// invokes the tool as `qfix-vet -V=full` (version stamp for the
+	// build cache) and `qfix-vet -flags` (supported analyzer flags).
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			// The stamp participates in go's action cache: bump it when
+			// analyzer behavior changes so stale clean results die.
+			fmt.Printf("%s version qfix-vet-1.0\n", os.Args[0])
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	list := flag.Bool("list", false, "list the suite's analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qfix-vet [packages]   (standalone; patterns default to ./...)\n")
+		fmt.Fprintf(os.Stderr, "       qfix-vet unit.cfg     (as go vet -vettool)\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitCheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads the packages matching the patterns and prints every
+// surviving diagnostic, one per line, go-vet style.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+		return 2
+	}
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analysis.Suite())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			failed = true
+			fmt.Println(relativize(dir, d))
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func relativize(dir string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+// vetConfig mirrors the fields of the JSON unit-checker config the go
+// command writes for -vettool invocations.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one compilation unit under the go vet driver.
+// Diagnostics go to stderr; exit status 2 signals findings, matching
+// the x/tools unitchecker convention.
+func unitCheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "qfix-vet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The driver expects a facts file for downstream units whether or
+	// not we have facts to share (we don't — the suite is local).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Keep vettool findings aligned with standalone mode: analyze only
+	// the non-test files of the unit (test variants share them).
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	loader := analysis.NewLoader(cfg.Dir)
+	loader.SetExports(cfg.ImportMap, cfg.PackageFile)
+	pkg, err := loader.Check(cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkg, analysis.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	w := io.Writer(os.Stderr)
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+	return 2
+}

@@ -1,0 +1,213 @@
+// Package analysis is qfix's static-analysis suite: a small, stdlib-only
+// clone of the golang.org/x/tools/go/analysis model (Analyzer, Pass,
+// Diagnostic) plus the four domain analyzers that mechanically enforce
+// the invariants the engine's guarantees rest on — deterministic map
+// handling (detmap), context-aware blocking loops (ctxloop), balanced
+// obs spans (spanend), and no wall-clock or randomness in deterministic
+// solver paths (detclock). The x/tools module itself is deliberately
+// not a dependency: the repo builds offline, so the framework here
+// mirrors the upstream API shape on top of go/ast + go/types only, and
+// cmd/qfix-vet speaks enough of the vet tool protocol to run either
+// standalone or as `go vet -vettool`.
+//
+// Findings are suppressed site-by-site with comment directives:
+//
+//	//qfix:det-ok <reason>   (detmap, detclock)
+//	//qfix:ctx-ok <reason>   (ctxloop)
+//	//qfix:span-ok <reason>  (spanend)
+//
+// A directive suppresses diagnostics on its own line or the line
+// directly below it (so it can ride at end-of-line or as a standalone
+// comment above the site). Directives that suppress nothing are
+// themselves reported — a stale allowlist is exactly the kind of silent
+// rot this suite exists to prevent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one suite check. The shape mirrors
+// x/tools/go/analysis.Analyzer so the checks read idiomatically and
+// could be ported onto the upstream driver wholesale if the dependency
+// ever lands.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Directive is the //qfix: directive name (e.g. "det-ok") that
+	// suppresses this analyzer's findings at a site.
+	Directive string
+
+	// Packages restricts the analyzer to packages whose import path
+	// ends with one of these suffixes (after stripping any test-variant
+	// decoration). Empty means every package.
+	Packages []string
+
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer runs on the package with the
+// given import path. Test-variant paths like "p [p.test]" are matched
+// by their base package.
+func (a *Analyzer) AppliesTo(path string) bool {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, suf := range a.Packages {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suite *suiteState // shared directive index + diagnostic sink
+}
+
+// Reportf records a finding at pos unless a matching directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suite.suppress(p.Analyzer.Directive, position) {
+		return
+	}
+	p.suite.diags = append(p.suite.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// directiveRE matches a qfix suppression directive comment. The reason
+// text is free-form but encouraged: it is the durable record of why the
+// site is exempt.
+var directiveRE = regexp.MustCompile(`^//qfix:([a-z-]+)(?:\s+(.*))?$`)
+
+// A directive is one //qfix:NAME-ok comment, tracked so unused ones can
+// be reported.
+type directive struct {
+	name string // e.g. "det-ok"
+	pos  token.Position
+	used bool
+}
+
+type suiteState struct {
+	directives []*directive
+	// eligible collects the directive names owned by analyzers that
+	// actually ran on the package; only those can be declared unused.
+	eligible map[string]bool
+	diags    []Diagnostic
+}
+
+// suppress consumes a directive covering the diagnostic position:
+// same file, and the directive sits on the diagnostic's line or the
+// line above it.
+func (s *suiteState) suppress(name string, pos token.Position) bool {
+	ok := false
+	for _, d := range s.directives {
+		if d.name != name || d.pos.Filename != pos.Filename {
+			continue
+		}
+		if d.pos.Line == pos.Line || d.pos.Line == pos.Line-1 {
+			d.used = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// Run executes every applicable analyzer from the suite over pkg and
+// returns the surviving diagnostics (including unused-directive
+// findings), sorted by position. Directives are shared across the
+// analyzers of one package so a single site needs a single annotation.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	st := &suiteState{eligible: map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				st.directives = append(st.directives, &directive{
+					name: m[1],
+					pos:  pkg.Fset.Position(c.Slash),
+				})
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		st.eligible[a.Directive] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			suite:     st,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	for _, d := range st.directives {
+		if !d.used && st.eligible[d.name] {
+			st.diags = append(st.diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "directive",
+				Message:  fmt.Sprintf("unused //qfix:%s directive: nothing on this or the next line is flagged", d.name),
+			})
+		}
+	}
+	sort.Slice(st.diags, func(i, j int) bool {
+		a, b := st.diags[i], st.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return st.diags, nil
+}
+
+// Suite returns the full qfix-vet analyzer set in a fixed order.
+func Suite() []*Analyzer {
+	return []*Analyzer{DetMap, CtxLoop, SpanEnd, DetClock}
+}

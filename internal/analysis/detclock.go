@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetClock flags wall-clock reads and randomness inside the
+// deterministic solver packages. The engine's headline guarantee —
+// repairs and Stats byte-identical at any parallelism or partitioning —
+// cannot survive a time.Now-dependent branch or a math/rand draw in
+// simplex pivoting, branch-and-bound, or encoding. Timing for Stats and
+// traces belongs to the callers (core's phase helper, obs spans), not
+// in here. The one sanctioned exception — enforcing a caller-supplied
+// TimeLimit, where divergence is the documented contract of hitting the
+// limit — carries a //qfix:det-ok directive at the site.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc: "flag time.Now/time.Since and math/rand in deterministic solver paths; " +
+		"wall-clock and randomness break byte-identical repairs",
+	Directive: "det-ok",
+	Packages:  []string{"internal/simplex", "internal/milp", "internal/encode"},
+	Run:       runDetClock,
+}
+
+// clockFuncs are the time package functions that read the wall clock,
+// sleep, or arm timers. Durations, constants, and time arithmetic on
+// caller-supplied values stay legal.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runDetClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pkgName.Imported().Path(); path {
+			case "time":
+				if clockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock use time.%s in a deterministic solver path; derive timing from the caller (Stats/obs own it) or annotate //qfix:det-ok with the contract",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(sel.Pos(),
+					"randomness %s.%s in a deterministic solver path; byte-identical repairs forbid it — derive choices from input order or annotate //qfix:det-ok with the contract",
+					pkg.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

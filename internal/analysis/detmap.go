@@ -1,0 +1,413 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap flags `range` statements over maps in the packages whose
+// outputs are pinned byte-identical (solver decisions, emitted repairs,
+// BENCH rows). Go randomizes map iteration order on purpose, so any
+// map range whose body can influence ordered output is a determinism
+// bug waiting for a hash-seed change. Two shapes are recognized as safe
+// without annotation:
+//
+//   - collect-then-sort: the body only appends to slices that are later
+//     sorted (sort.* or slices.Sort*) in the same function;
+//   - commutative accumulation: the body only increments/accumulates
+//     integer values, writes m[k] under the ranged key, or deletes the
+//     ranged key from another map — operations whose result is
+//     independent of visit order.
+//
+// Anything else needs an explicit //qfix:det-ok directive carrying the
+// reason the order cannot reach observable output.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc: "flag map iteration whose nondeterministic order can reach solver decisions or output; " +
+		"safe shapes: collect-then-sort, integer accumulation, keyed map writes/deletes",
+	Directive: "det-ok",
+	Packages: []string{
+		"internal/simplex", "internal/milp", "internal/encode",
+		"internal/core", "internal/bench",
+	},
+	Run: runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				detmapFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// detmapFunc checks the map ranges directly inside one function body,
+// leaving nested function literals to their own visit.
+func detmapFunc(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.Types[n.X].Type
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if !safeMapRange(pass, n, body) {
+				pass.Reportf(n.For,
+					"range over map %s: iteration order is nondeterministic; collect and sort keys, or annotate //qfix:det-ok with why order cannot reach output",
+					typeLabel(t))
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// safeMapRange reports whether every statement in the range body is an
+// order-insensitive shape, and every append target is sorted later in
+// the enclosing function. The shape rules are sound against the classic
+// hole — feeding one iteration's mutation into another's — because a
+// shape may only read loop-carried state the body never writes (the
+// rangeCheck tracks both sets).
+func safeMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+	c := &rangeCheck{
+		pass:          pass,
+		body:          rs.Body,
+		keyObj:        identObj(pass, rs.Key),
+		valObj:        identObj(pass, rs.Value),
+		appendTargets: map[types.Object]bool{},
+		constWrites:   map[types.Object]string{},
+	}
+	c.collectWrites(rs.Body)
+	for _, st := range rs.Body.List {
+		if !c.safeStmt(st) {
+			return false
+		}
+	}
+	for obj := range c.appendTargets {
+		if !sortedAfter(pass, funcBody, obj, rs.End()) {
+			return false
+		}
+	}
+	return true
+}
+
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// rangeCheck validates one map-range body against the order-insensitive
+// shape rules.
+type rangeCheck struct {
+	pass           *Pass
+	body           *ast.BlockStmt
+	keyObj, valObj types.Object
+	// written holds the loop-carried objects (declared outside the
+	// body) that the body assigns; reading them from another shape
+	// would smuggle iteration order back in.
+	written       map[types.Object]bool
+	appendTargets map[types.Object]bool
+	// constWrites records the single constant each object may be
+	// assigned; two different constants to one object is last-writer-
+	// wins and therefore order-sensitive.
+	constWrites map[types.Object]string
+}
+
+// collectWrites gathers every loop-carried object the body assigns.
+func (c *rangeCheck) collectWrites(n ast.Node) {
+	c.written = map[types.Object]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				c.markWrite(l)
+			}
+		case *ast.IncDecStmt:
+			c.markWrite(n.X)
+		}
+		return true
+	})
+}
+
+func (c *rangeCheck) markWrite(e ast.Expr) {
+	obj := rootObj(c.pass, e)
+	if obj == nil || c.iterationScoped(obj) {
+		return
+	}
+	c.written[obj] = true
+}
+
+// rootObj resolves the object at the base of an assignable expression
+// (x, x[i], x.f, *x, …): writes through any of those mutate x's state.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return identObj(pass, e)
+		}
+	}
+}
+
+// iterationScoped reports whether obj lives only within one iteration:
+// the range key/value or a variable declared inside the body.
+func (c *rangeCheck) iterationScoped(obj types.Object) bool {
+	if obj == c.keyObj || obj == c.valObj {
+		return true
+	}
+	return obj.Pos() >= c.body.Pos() && obj.Pos() < c.body.End()
+}
+
+// readsWritten reports whether e reads any loop-carried object the body
+// also writes (other than exempt, the accumulation target itself).
+func (c *rangeCheck) readsWritten(e ast.Expr, exempt types.Object) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && obj != exempt && c.written[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *rangeCheck) safeStmt(st ast.Stmt) bool {
+	pass := c.pass
+	switch st := st.(type) {
+	case *ast.IncDecStmt:
+		return isIntegerExpr(pass, st.X)
+	case *ast.DeclStmt:
+		// Iteration-local declarations; initializers must not read
+		// loop-carried writes.
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if c.readsWritten(v, nil) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		// A guard is order-insensitive when it depends only on this
+		// iteration's key/value and unwritten state, and everything it
+		// guards is itself a safe shape.
+		if st.Init != nil && !c.safeStmt(st.Init) {
+			return false
+		}
+		if c.readsWritten(st.Cond, nil) {
+			return false
+		}
+		for _, s := range st.Body.List {
+			if !c.safeStmt(s) {
+				return false
+			}
+		}
+		switch e := st.Else.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, s := range e.List {
+				if !c.safeStmt(s) {
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			return c.safeStmt(e)
+		default:
+			return false
+		}
+		return true
+	case *ast.AssignStmt:
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative, associative accumulation — but only over
+			// integers: float addition order changes low bits.
+			return len(st.Lhs) == 1 && isIntegerExpr(pass, st.Lhs[0]) &&
+				!c.readsWritten(st.Rhs[0], identObj(pass, st.Lhs[0]))
+		case token.DEFINE:
+			// Iteration-local temps; their initializers must not read
+			// loop-carried writes.
+			for _, r := range st.Rhs {
+				if c.readsWritten(r, nil) {
+					return false
+				}
+			}
+			return true
+		case token.ASSIGN:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			lhs, rhs := st.Lhs[0], st.Rhs[0]
+			// x[k] = v / x[k] = append(x[k], v) under the ranged key:
+			// each iteration touches a distinct element, so visit order
+			// cannot matter as long as the value reads no loop-carried
+			// writes.
+			if ix, ok := lhs.(*ast.IndexExpr); ok && c.keyObj != nil &&
+				identObj(pass, ix.Index) == c.keyObj && isIndexable(pass, ix.X) {
+				// The container itself is exempt so self-updates like
+				// x[k] = append(x[k], v) pass; distinct keys keep the
+				// elements independent.
+				return !c.readsWritten(rhs, rootObj(pass, ix.X))
+			}
+			// s = append(s, ...) — safe once s is sorted later.
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+				obj := identObj(pass, lhs)
+				if obj == nil {
+					return false
+				}
+				for _, a := range call.Args[1:] {
+					if c.readsWritten(a, nil) {
+						return false
+					}
+				}
+				c.appendTargets[obj] = true
+				return true
+			}
+			// x = <constant>: idempotent, hence order-insensitive — but
+			// only while every constant written to x is the same one.
+			if obj := identObj(pass, lhs); obj != nil {
+				if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.Value != nil {
+					repr := tv.Value.ExactString()
+					if prev, seen := c.constWrites[obj]; seen && prev != repr {
+						return false
+					}
+					c.constWrites[obj] = repr
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	case *ast.ExprStmt:
+		// delete(other, k) under the ranged key.
+		if call, ok := st.X.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "delete") && len(call.Args) == 2 && c.keyObj != nil {
+			return identObj(pass, call.Args[1]) == c.keyObj
+		}
+		return false
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE && st.Label == nil
+	}
+	return false
+}
+
+// isIndexable reports whether e is a map or slice value (the containers
+// whose keyed writes the shape rules accept).
+func isIndexable(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedAfter reports whether obj (a slice) is passed to a sort.* or
+// slices.Sort* call positioned after pos in the function body.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if identObj(pass, call.Args[0]) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

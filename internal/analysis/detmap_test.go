@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetMap(t *testing.T) {
+	analysistest.Run(t, "testdata/detmap", analysis.DetMap, "repro/internal/simplex")
+}
+
+// TestDetMapScope pins the package filter: the same order-sensitive
+// range stays silent outside the determinism scope.
+func TestDetMapScope(t *testing.T) {
+	analysistest.Run(t, "testdata/scope", analysis.DetMap, "repro/internal/query")
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDirectives runs the whole suite over the directive fixture:
+// allowlisted sites stay silent, a directive on a line nothing flags
+// is reported as unused, and directives owned by analyzers that did
+// not run on the package are exempt from the unused check.
+func TestDirectives(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/directive", analysis.Suite(), "repro/internal/simplex")
+}

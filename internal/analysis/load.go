@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks packages without golang.org/x/tools: package and
+// dependency discovery comes from `go list -export -json`, and imports
+// are satisfied from the compiler's export data in the build cache via
+// the stdlib gc importer. Everything works offline and from source.
+type Loader struct {
+	Dir  string // directory to resolve patterns in (module root or below)
+	fset *token.FileSet
+	imp  types.Importer
+	// exports maps import paths to export-data files harvested from go
+	// list; grown across calls so analysistest fixtures can resolve
+	// both std and module imports.
+	exports map[string]string
+	// importMap canonicalizes source-level import paths first (the go
+	// vet driver supplies one per compilation unit).
+	importMap map[string]string
+}
+
+// NewLoader returns a loader resolving package patterns relative to dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canon, ok := l.importMap[path]; ok {
+			path = canon
+		}
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l
+}
+
+// SetExports installs an externally supplied import resolution — the go
+// vet driver's ImportMap and PackageFile tables — instead of harvesting
+// one from go list.
+func (l *Loader) SetExports(importMap, packageFile map[string]string) {
+	l.importMap = importMap
+	for path, file := range packageFile {
+		l.exports[path] = file
+	}
+}
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// golist runs `go list -export -json -deps` over the given patterns and
+// folds every export-data file it reports into the loader's import
+// resolution map, returning the listed packages.
+func (l *Loader) golist(patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists, parses, and type-checks every non-test package matching
+// the patterns (e.g. "./..."), skipping standard-library dependencies:
+// those are import targets, not analysis targets.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.golist(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.Module == nil || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := l.Check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files directly inside dir as a
+// single package under the given import path. It is the analysistest
+// entry point: fixture directories live under testdata (invisible to
+// go list patterns), so their imports are listed explicitly here to
+// pull in export data before checking.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	asts, err := l.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	var imports []string
+	for _, f := range asts {
+		for _, im := range f.Imports {
+			imports = append(imports, strings.Trim(im.Path.Value, `"`))
+		}
+	}
+	if len(imports) > 0 {
+		if _, err := l.golist(imports...); err != nil {
+			return nil, err
+		}
+	}
+	return l.check(importPath, dir, files, asts)
+}
+
+// Check parses files and type-checks them as the package at importPath.
+func (l *Loader) Check(importPath, dir string, files []string) (*Package, error) {
+	asts, err := l.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(importPath, dir, files, asts)
+}
+
+func (l *Loader) parse(files []string) ([]*ast.File, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	return asts, nil
+}
+
+func (l *Loader) check(importPath, dir string, files []string, asts []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, errors.Join(errs...))
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,491 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanEnd protects the obs.WellNested invariant the trace exporters
+// depend on: every Trace.Start / Span.Start must be paired with a
+// guaranteed End on every path out of the span's scope. The analyzer
+// tracks the span handle returned by Start:
+//
+//   - a dropped result (`tr.Start("x")` as a statement) can never End
+//     and is always reported;
+//   - `defer sp.End()` (directly or inside a deferred closure)
+//     discharges the obligation;
+//   - a handle that escapes the function — returned, stored in a
+//     struct, slice, or channel, aliased to another variable, or
+//     captured by a non-deferred closure — transfers ownership, and the
+//     analyzer stays silent;
+//   - otherwise a conservative path walk over the declaring block must
+//     see an End on every exit (fallthrough, return, and — for spans
+//     started inside a loop body — break/continue).
+//
+// All findings for a span are reported at its Start call, so one
+// //qfix:span-ok directive covers the whole obligation when the pairing
+// is real but beyond the walker (e.g. a helper that Ends for you).
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "flag obs span Start calls without a guaranteed End on every return path " +
+		"(defer or a dominating call), which would break trace well-nesting",
+	Directive: "span-ok",
+	Run:       runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				spanEndFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanEndFunc checks the Start calls directly inside one function body
+// (nested function literals get their own visit).
+func spanEndFunc(pass *Pass, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && len(stack) > 0 {
+			return false
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok && isSpanStart(pass, call) {
+			checkStart(pass, call, stack, body)
+		}
+		return true
+	})
+}
+
+// isSpanStart reports whether call is a Start method call on an
+// obs.Trace or obs.Span receiver.
+func isSpanStart(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	return isObsHandle(selection.Recv())
+}
+
+func isObsHandle(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	name := obj.Name()
+	return (name == "Span" || name == "Trace") && strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// checkStart classifies one Start call by how its result is consumed
+// and reports when the End obligation cannot be discharged. stack holds
+// the path from the function body down to the call itself.
+func checkStart(pass *Pass, call *ast.CallExpr, stack []ast.Node, funcBody *ast.BlockStmt) {
+	parent := parentOf(stack, 1)
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "span started here is immediately dropped and can never End")
+	case *ast.SelectorExpr:
+		// Chained call like tr.Start("x").End(): fine.
+	case *ast.AssignStmt:
+		var lhs ast.Expr
+		for i, r := range p.Rhs {
+			if r == call && i < len(p.Lhs) {
+				lhs = p.Lhs[i]
+			}
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return // stored straight into a field/slice: ownership escapes
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "span started here is assigned to _ and can never End")
+			return
+		}
+		obj := identObj(pass, id)
+		if obj == nil {
+			return
+		}
+		checkSpanVar(pass, call, id.Name, obj, p, stack, funcBody)
+	default:
+		// Used as a call argument, return value, composite element, …:
+		// ownership escapes to the consumer.
+	}
+}
+
+func parentOf(stack []ast.Node, up int) ast.Node {
+	if len(stack) <= up {
+		return nil
+	}
+	return stack[len(stack)-1-up]
+}
+
+// checkSpanVar enforces the End obligation for a span bound to a local
+// variable.
+func checkSpanVar(pass *Pass, call *ast.CallExpr, name string, obj types.Object, assign *ast.AssignStmt, stack []ast.Node, funcBody *ast.BlockStmt) {
+	if deferEnds(pass, funcBody, obj) {
+		return
+	}
+	if spanEscapes(pass, funcBody, obj, assign) {
+		return
+	}
+	// Locate the statement list the assignment lives in; the span's
+	// scope — and hence its exits — is that block.
+	block, idx, loopScoped := declBlock(stack, assign)
+	if block == nil || assign.Tok == token.ASSIGN {
+		// Assigned into a variable declared elsewhere (or a non-block
+		// position like an if-init): settle for any End call at all.
+		if !anyEndCall(pass, funcBody, obj) {
+			pass.Reportf(call.Pos(), "span %s is never ended; every Start needs a guaranteed End (defer %s.End())", name, name)
+		}
+		return
+	}
+	w := &spanWalker{pass: pass, obj: obj, loopScoped: loopScoped}
+	st, terminated := w.evalList(block.List[idx+1:], spanOpen)
+	if !terminated && st == spanOpen {
+		if loopScoped {
+			w.leaks++
+		} else if block == funcBody {
+			w.leaks++ // falls off the end of the function still open
+		} else {
+			// Fell out of a nested block with the variable dying open.
+			w.leaks++
+		}
+	}
+	if w.leaks > 0 {
+		pass.Reportf(call.Pos(), "span %s is not ended on every path out of its scope; use defer %s.End() or End it before each exit", name, name)
+	}
+}
+
+// declBlock walks the stack from the assignment outward to its
+// enclosing block, noting whether a loop intervenes before the
+// function body (span scoped to a loop iteration).
+func declBlock(stack []ast.Node, assign *ast.AssignStmt) (*ast.BlockStmt, int, bool) {
+	ai := -1
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == assign {
+			ai = i
+			break
+		}
+	}
+	if ai <= 0 {
+		return nil, 0, false
+	}
+	block, ok := stack[ai-1].(*ast.BlockStmt)
+	if !ok {
+		return nil, 0, false
+	}
+	idx := -1
+	for i, st := range block.List {
+		if st == assign {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, 0, false
+	}
+	loopScoped := false
+	for i := ai - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopScoped = true
+		}
+	}
+	return block, idx, loopScoped
+}
+
+// deferEnds reports whether the function defers an End on obj, either
+// directly or inside a deferred closure.
+func deferEnds(pass *Pass, funcBody *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isEndCallOn(pass, d.Call, obj) {
+			found = true
+			return false
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok && anyEndCall(pass, lit.Body, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isEndCallOn(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	return identObj(pass, sel.X) == obj
+}
+
+func anyEndCall(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isEndCallOn(pass, call, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// spanEscapes reports whether the span handle's ownership leaves the
+// current function: returned, aliased, stored into a structure, sent on
+// a channel, address-taken, or captured by a non-deferred closure.
+// Method calls on the handle and nil comparisons are not escapes, and
+// passing the handle as a call argument is not either — by convention
+// callees start children under it, they don't End their parent.
+func spanEscapes(pass *Pass, funcBody *ast.BlockStmt, obj types.Object, def *ast.AssignStmt) bool {
+	escaped := false
+	var stack []ast.Node
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		// A use inside a closure that is not part of a defer hands the
+		// handle to code running later (or elsewhere).
+		deferred := false
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.DeferStmt:
+				deferred = true
+			case *ast.FuncLit:
+				if !deferred {
+					escaped = true
+					return false
+				}
+			}
+		}
+		switch p := parentOf(stack, 1).(type) {
+		case *ast.SelectorExpr:
+			// Receiver of a method call / field access: not an escape.
+		case *ast.BinaryExpr:
+			// Comparisons (sp != nil): not an escape.
+		case *ast.CallExpr:
+			// Passed as an argument: the callee nests under it.
+		case *ast.AssignStmt:
+			onLhs := false
+			for _, l := range p.Lhs {
+				if l == ast.Expr(id) {
+					onLhs = true
+				}
+			}
+			if !onLhs {
+				escaped = true // aliased into another variable or location
+			}
+		default:
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}
+
+// --- path walk ---------------------------------------------------------
+
+type spanState int
+
+const (
+	spanOpen spanState = iota
+	spanEnded
+)
+
+type spanWalker struct {
+	pass       *Pass
+	obj        types.Object
+	loopScoped bool
+	leaks      int
+}
+
+// evalList walks a statement list tracking whether the span has been
+// ended, counting exits taken while it is still open. The second result
+// reports that control cannot fall out of the list.
+func (w *spanWalker) evalList(stmts []ast.Stmt, st spanState) (spanState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.evalStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *spanWalker) evalStmt(s ast.Stmt, st spanState) (spanState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isEndCallOn(w.pass, call, w.obj) {
+				return spanEnded, false
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return st, true
+			}
+		}
+		return st, false
+	case *ast.DeferStmt:
+		if isEndCallOn(w.pass, s.Call, w.obj) {
+			return spanEnded, false
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && anyEndCall(w.pass, lit.Body, w.obj) {
+			return spanEnded, false
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		if st == spanOpen {
+			ended := false
+			for _, r := range s.Results {
+				if anyEndCall(w.pass, r, w.obj) {
+					ended = true
+				}
+			}
+			if !ended {
+				w.leaks++
+			}
+		}
+		return st, true
+	case *ast.BranchStmt:
+		if (s.Tok == token.BREAK || s.Tok == token.CONTINUE) && w.loopScoped && st == spanOpen {
+			w.leaks++
+		}
+		return st, true
+	case *ast.BlockStmt:
+		return w.evalList(s.List, st)
+	case *ast.LabeledStmt:
+		return w.evalStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		st1, t1 := w.evalList(s.Body.List, st)
+		st2, t2 := st, false
+		if s.Else != nil {
+			st2, t2 = w.evalStmt(s.Else, st)
+		}
+		switch {
+		case t1 && t2:
+			return spanEnded, true
+		case t1:
+			return st2, false
+		case t2:
+			return st1, false
+		default:
+			if st1 == spanEnded && st2 == spanEnded {
+				return spanEnded, false
+			}
+			return spanOpen, false
+		}
+	case *ast.ForStmt:
+		// The body may run zero times; evaluate it for leaks on its own
+		// returns (loop-local break/continue are not span exits here)
+		// but keep the pre-loop state afterwards.
+		inner := &spanWalker{pass: w.pass, obj: w.obj, loopScoped: false}
+		inner.evalList(s.Body.List, st)
+		w.leaks += inner.leaks
+		return st, false
+	case *ast.RangeStmt:
+		inner := &spanWalker{pass: w.pass, obj: w.obj, loopScoped: false}
+		inner.evalList(s.Body.List, st)
+		w.leaks += inner.leaks
+		return st, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.evalCases(s, st)
+	default:
+		return st, false
+	}
+}
+
+// evalCases merges the clause bodies of a switch or select: the state
+// after is ended only if every clause guarantees it and, for switches,
+// a default clause makes the case set exhaustive.
+func (w *spanWalker) evalCases(s ast.Stmt, st spanState) (spanState, bool) {
+	var clauses []ast.Stmt
+	exhaustive := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+		exhaustive = true // select always runs exactly one clause
+	}
+	allEnd, allTerm := true, true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				exhaustive = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			body = c.Body
+		}
+		cst, cterm := w.evalList(body, st)
+		if !cterm {
+			allTerm = false
+			if cst != spanEnded {
+				allEnd = false
+			}
+		}
+	}
+	if len(clauses) == 0 {
+		return st, false
+	}
+	if exhaustive && allTerm {
+		return spanEnded, true
+	}
+	if exhaustive && allEnd {
+		return spanEnded, false
+	}
+	return st, false
+}

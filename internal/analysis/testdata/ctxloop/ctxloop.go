@@ -1,0 +1,94 @@
+// Fixture for the ctxloop analyzer: blocking loops, goroutines, and
+// channel operations that never consult a context (flagged) next to
+// ctx-aware and non-blocking shapes (silent).
+package fixture
+
+import "context"
+
+// drainDeaf blocks receiving with no cancellation story in sight.
+func drainDeaf(ch chan int) int {
+	total := 0
+	for v := range ch { // want "loop blocks on channel operations"
+		total += v
+	}
+	return total
+}
+
+// sendDeaf blocks sending with no cancellation story.
+func sendDeaf(ch chan int, n int) {
+	for i := 0; i < n; i++ { // want "loop blocks on channel operations"
+		ch <- i
+	}
+}
+
+// drainAware selects on ctx.Done: silent.
+func drainAware(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// spinDeaf can spin past cancellation forever.
+func spinDeaf(done *bool) {
+	for { // want "unconditional loop never consults"
+		if *done {
+			return
+		}
+	}
+}
+
+// spinAware polls ctx.Err: silent.
+func spinAware(ctx context.Context, step func() bool) {
+	for {
+		if ctx.Err() != nil || step() {
+			return
+		}
+	}
+}
+
+// fireDeaf parks a goroutine on the send forever if nobody receives.
+func fireDeaf(ch chan int) {
+	go func() { // want "goroutine blocks on channel operations"
+		ch <- 1
+	}()
+}
+
+// fireAware gives the send an escape hatch: silent.
+func fireAware(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// pollNonBlocking uses a default clause: nothing blocks, silent.
+func pollNonBlocking(ch chan int, tries int) {
+	for i := 0; i < tries; i++ {
+		select {
+		case ch <- i:
+		default:
+		}
+	}
+}
+
+// allowlisted documents the directive: the cancellation story lives in
+// the producer's close, not in a select at this site.
+func allowlisted(ch chan int) int {
+	n := 0
+	//qfix:ctx-ok fixture: producer closes ch, so the drain terminates
+	for range ch {
+		n++
+	}
+	return n
+}

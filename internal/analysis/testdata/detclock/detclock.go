@@ -1,0 +1,35 @@
+// Fixture for the detclock analyzer: wall-clock and randomness calls
+// inside the deterministic solver scope (flagged), caller-provided
+// time values (silent), and the directive escape hatch.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// budgetDeadline reads the wall clock inside the solver.
+func budgetDeadline(limit time.Duration) time.Time {
+	return time.Now().Add(limit) // want "wall-clock use time.Now"
+}
+
+// elapsed measures with the wall clock.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock use time.Since"
+}
+
+// jitter injects randomness into a solver choice.
+func jitter(n int) int {
+	return rand.Intn(n) // want "randomness rand.Intn"
+}
+
+// formatStamp only formats a caller-provided time: silent.
+func formatStamp(t time.Time) string {
+	return t.Format(time.RFC3339)
+}
+
+// allowlisted carries the contract on the directive.
+func allowlisted(limit time.Duration) time.Time {
+	//qfix:det-ok fixture: the TimeLimit contract sanctions this clock
+	return time.Now().Add(limit)
+}

@@ -1,0 +1,125 @@
+// Fixture for the detmap analyzer: map ranges whose visit order can
+// reach output (flagged) next to the recognized order-insensitive
+// shapes (silent). Loaded under a solver import path so the scope
+// filter admits the analyzer.
+package fixture
+
+import "sort"
+
+// collectThenSort is the blessed shape: append inside, sort after.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectNoSort appends but never sorts: iteration order leaks into
+// the returned slice.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// accumulate only counts and integer-sums: commutative, silent.
+func accumulate(m map[int]int) (int, int) {
+	n, total := 0, 0
+	for _, v := range m {
+		n++
+		total += v
+	}
+	return n, total
+}
+
+// floatSum accumulates floats: addition order changes the low bits,
+// so the "commutative accumulation" shape does not apply.
+func floatSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map"
+		s += v
+	}
+	return s
+}
+
+// keyedWrites only touch the ranged key's own element of another
+// container: distinct keys keep iterations independent.
+func keyedWrites(m map[int]float64, cols [][]float64, dead map[int]bool) {
+	for k, v := range m {
+		if v != 0 {
+			cols[k] = append(cols[k], v)
+		}
+		delete(dead, k)
+	}
+}
+
+// localTemp binds an iteration-local temporary before accumulating.
+func localTemp(m map[int]int) int {
+	total := 0
+	for k, v := range m {
+		w := k * v
+		total += w
+	}
+	return total
+}
+
+// lastWriter keeps whichever value the iterator happens to visit last.
+func lastWriter(m map[int]int) int {
+	last := 0
+	for _, v := range m { // want "range over map"
+		last = v
+	}
+	return last
+}
+
+// constantFlag writes a single constant: idempotent, hence silent.
+func constantFlag(m map[int]bool, probe int) bool {
+	found := false
+	for k := range m {
+		if k == probe {
+			found = true
+		}
+	}
+	return found
+}
+
+// conflictingConstants is last-writer-wins between two constants.
+func conflictingConstants(m map[int]bool) int {
+	cls := 0
+	for k := range m { // want "range over map"
+		if k >= 0 {
+			cls = 1
+		} else {
+			cls = 2
+		}
+	}
+	return cls
+}
+
+// loopCarried reads a value the loop itself wrote: even though max is
+// mathematically order-free, the analyzer stays conservative because
+// the guard depends on earlier iterations.
+func loopCarried(m map[int]int) int {
+	best := 0
+	for _, v := range m { // want "range over map"
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// allowlisted documents the directive form: the reason rides on the
+// comment, the report is suppressed, and the directive counts as used.
+func allowlisted(m map[int]int) int {
+	last := 0
+	//qfix:det-ok fixture: last-writer result is discarded by the caller
+	for _, v := range m {
+		last = v
+	}
+	return last
+}

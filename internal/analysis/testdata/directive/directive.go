@@ -1,0 +1,43 @@
+// Fixture for the //qfix: directive machinery, run under the full
+// suite: suppression on the same line and the line above, the unused-
+// directive report, and the eligibility rule (directives owned by
+// analyzers that did not run on this package are not "unused").
+package fixture
+
+import "time"
+
+// suppressedAbove: directive on the line above the finding.
+func suppressedAbove(m map[int]int) int {
+	last := 0
+	//qfix:det-ok fixture: order deliberately immaterial here
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// suppressedSameLine: directive rides the flagged line itself.
+func suppressedSameLine(limit time.Duration) time.Time {
+	return time.Now().Add(limit) //qfix:det-ok fixture: sanctioned wall clock
+}
+
+// unusedDirective annotates a slice range nothing would ever flag.
+func unusedDirective(xs []int) int {
+	total := 0
+	//qfix:det-ok fixture: nothing here needs it // want "unused //qfix:det-ok directive"
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// foreignDirective is owned by ctxloop, which is not scoped to this
+// package: it is exempt from the unused check rather than noise.
+func foreignDirective(ch chan int) int {
+	n := 0
+	//qfix:ctx-ok fixture: ctxloop does not run on solver packages
+	for range ch {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+// Fixture for the package-scope filter: the same last-writer map
+// range detmap flags in solver packages stays silent when the package
+// is outside every determinism scope.
+package fixture
+
+func lastWriter(m map[int]int) int {
+	last := 0
+	for _, v := range m {
+		last = v
+	}
+	return last
+}

@@ -1,0 +1,118 @@
+// Fixture for the spanend analyzer: obs span Start calls whose End
+// obligation is dropped, discharged, or handed off. Imports the real
+// obs package so the receiver-type detection runs against the same
+// types the production code uses.
+package fixture
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+var errFixture = errors.New("fixture")
+
+// dropped discards the child span handle: it can never End.
+func dropped(tr *obs.Span) {
+	tr.Start("phase") // want "immediately dropped"
+}
+
+// blanked assigns the handle to _: same hole, different spelling.
+func blanked(tr *obs.Span) {
+	_ = tr.Start("phase") // want "assigned to _"
+}
+
+// chained Ends inline: fine.
+func chained(tr *obs.Span) {
+	tr.Start("blip").End()
+}
+
+// deferred is the canonical pairing: silent.
+func deferred(tr *obs.Span, work func()) {
+	sp := tr.Start("phase")
+	defer sp.End()
+	work()
+}
+
+// straightLine Ends on the only path out: silent.
+func straightLine(tr *obs.Span, work func()) {
+	sp := tr.Start("phase")
+	work()
+	sp.End()
+}
+
+// earlyReturn leaks the span on the failure path.
+func earlyReturn(tr *obs.Span, fail bool) error {
+	sp := tr.Start("phase") // want "not ended on every path"
+	if fail {
+		return errFixture
+	}
+	sp.End()
+	return nil
+}
+
+// branchesEnd closes the span on both exits: silent.
+func branchesEnd(tr *obs.Span, fail bool) error {
+	sp := tr.Start("phase")
+	if fail {
+		sp.End()
+		return errFixture
+	}
+	sp.End()
+	return nil
+}
+
+// neverEnded opens a span, decorates it, and falls off the end.
+func neverEnded(tr *obs.Span) {
+	sp := tr.Start("phase") // want "not ended on every path"
+	sp.SetAttr("k", 1)
+}
+
+// loopLeak breaks out of the iteration with the span still open.
+func loopLeak(tr *obs.Span, items []int) {
+	for _, it := range items {
+		sp := tr.Start("item") // want "not ended on every path"
+		if it < 0 {
+			break
+		}
+		sp.End()
+	}
+}
+
+// loopClean Ends on both iteration exits: silent.
+func loopClean(tr *obs.Span, items []int) {
+	for _, it := range items {
+		sp := tr.Start("item")
+		if it < 0 {
+			sp.End()
+			break
+		}
+		sp.End()
+	}
+}
+
+// handoff returns the handle: ownership escapes to the caller, silent.
+func handoff(tr *obs.Span) *obs.Span {
+	return tr.Start("child")
+}
+
+// aliasedReturn escapes through a variable: still the caller's
+// problem, silent.
+func aliasedReturn(tr *obs.Span) *obs.Span {
+	sp := tr.Start("child")
+	sp.SetAttr("k", 1)
+	return sp
+}
+
+// allowlisted hands the span to a helper that Ends it — real pairing,
+// beyond the walker, documented by the directive.
+func allowlisted(tr *obs.Span, work func()) {
+	//qfix:span-ok fixture: finish ends the span for us
+	sp := tr.Start("phase")
+	work()
+	finish(sp)
+}
+
+func finish(sp *obs.Span) {
+	sp.End()
+}

@@ -89,6 +89,11 @@ func (d *diagnoser) incrementalParallel() (*Repair, error) {
 	decided := false
 	var winner *Repair
 	winnerStatus := ""
+	// Every scheduled job delivers exactly one outcome into its own
+	// 1-buffered channel, even when skipped, so each receive completes;
+	// cancellation lives in the jobs (stop flag + deadline checks) and
+	// the merge MUST drain all of them for deterministic stats.
+	//qfix:ctx-ok receives always complete: jobs deliver even when skipped; jobs own cancellation
 	for bi := range batches {
 		out := <-results[bi]
 		d.mergeStats(out.stats)

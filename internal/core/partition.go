@@ -294,6 +294,11 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 
 	reps := make([]*Repair, len(parts))
 	var firstErr error
+	// As in the parallel batch scan: every partition job delivers one
+	// outcome (deadline-expired jobs deliver a "total-time-limit" stub),
+	// so the adjudication drain always completes; cancellation is the
+	// jobs' own deadline check.
+	//qfix:ctx-ok receives always complete: jobs deliver even on deadline expiry
 	for i := range parts {
 		out := <-results[i]
 		ps := PartitionStat{

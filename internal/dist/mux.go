@@ -358,6 +358,10 @@ func (t *MuxTransport) connection(ctx context.Context) (net.Conn, error) {
 // the connection breaks, then fails whatever is still pending.
 func (t *MuxTransport) readLoop(conn net.Conn, gen uint64) {
 	dec := json.NewDecoder(conn)
+	// Lifetime is the connection's, not a caller's: Decode fails when
+	// the conn closes (teardown or peer loss) and the pending-map send
+	// is 1-buffered, so the loop can neither outlive the link nor block.
+	//qfix:ctx-ok loop exits when the connection closes; sends are 1-buffered
 	for {
 		res := new(Result)
 		if err := dec.Decode(res); err != nil {

@@ -67,6 +67,11 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.mu.Unlock()
 
+	// Accept loops end by listener teardown: Close() closes l, Accept
+	// returns, and the closed flag picks the nil return. (The teardown
+	// race here was PR 4's bugfix; the invariant is pinned by
+	// TestServerClose.)
+	//qfix:ctx-ok exits via Close(): closed listener fails Accept
 	for {
 		conn, err := l.Accept()
 		if err != nil {

@@ -3,6 +3,7 @@ package encode
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/milp"
 	"repro/internal/query"
@@ -72,8 +73,17 @@ func (e *encoder) widenWindow(pv milp.Var, lo, hi float64) {
 }
 
 // flushWindows pins each parameter seen this query to its safe window.
+// Parameters are visited in variable order: bound updates are
+// independent per variable, but a sorted walk keeps the pass trivially
+// inside the detmap determinism contract.
 func (e *encoder) flushWindows() {
-	for pv, w := range e.windows {
+	params := make([]milp.Var, 0, len(e.windows))
+	for pv := range e.windows {
+		params = append(params, pv)
+	}
+	slices.Sort(params)
+	for _, pv := range params {
+		w := e.windows[pv]
 		orig := e.paramOrig[pv]
 		slack := e.eps + 1
 		lo := math.Min(w[0], orig) - slack

@@ -3,6 +3,7 @@ package encode
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/milp"
 )
@@ -111,6 +112,12 @@ func (e *encoder) softObjective(t *tstate) {
 			sigmas = append(sigmas, v)
 		}
 	}
+	// The map scan above yields the tuple's sigma variables in random
+	// order, and each one becomes a constraint row below: without this
+	// sort, MILP row order — and with it simplex pivoting and node/LP
+	// iteration counts — varied run to run on refinement paths. Found
+	// by detmap (qfix-vet).
+	slices.Sort(sigmas)
 	for k := range e.sigmaTrue {
 		if k.Tuple == t.id {
 			constMatched = true

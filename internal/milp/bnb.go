@@ -219,7 +219,10 @@ func (m *Model) Solve(opt Options) Result {
 		s.seedIncumbent(opt.Incumbent)
 	}
 	if opt.TimeLimit > 0 {
-		s.deadline = time.Now().Add(opt.TimeLimit)
+		// Deadline enforcement is the one sanctioned wall-clock use in the
+		// solver: byte-identity is guaranteed for *completed* solves, and
+		// a time-limited stop is the documented divergence (ROADMAP PR 6).
+		s.deadline = time.Now().Add(opt.TimeLimit) //qfix:det-ok TimeLimit contract; divergence only on limit stops
 		s.hasDL = true
 	}
 
@@ -678,7 +681,7 @@ func (s *search) limitHit() bool {
 		s.stopped = true
 		return true
 	}
-	if s.hasDL && time.Now().After(s.deadline) {
+	if s.hasDL && time.Now().After(s.deadline) { //qfix:det-ok TimeLimit contract; divergence only on limit stops
 		s.stopped = true
 		return true
 	}

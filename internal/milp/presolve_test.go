@@ -87,9 +87,9 @@ func TestPresolveRedundantRows(t *testing.T) {
 func TestPresolveTightensBigM(t *testing.T) {
 	m := NewModel()
 	b := m.NewBinary()
-	x := m.NewContinuous(0, 1e7) // big-M style bound
-	m.SetObjCoef(x, -1)          // maximize x
-	m.AddLE([]Term{{b, 1}}, 0)   // b = 0
+	x := m.NewContinuous(0, 1e7)           // big-M style bound
+	m.SetObjCoef(x, -1)                    // maximize x
+	m.AddLE([]Term{{b, 1}}, 0)             // b = 0
 	m.AddLE([]Term{{x, 1}, {b, -1e7}}, 25) // x <= 25 + 1e7 b
 	res := m.Solve(Options{})
 	if res.Status != Optimal {
