@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure id (fig4, fig6a, fig6b, fig6c, fig7a, fig7b, fig8a..fig8e, fig9, fig10, ex2, ablation, partition, distributed, impactcache) or 'all'")
+		fig     = flag.String("fig", "all", "figure id (see -list) or 'all'")
 		scale   = flag.String("scale", "default", "experiment scale: quick | default | large")
 		reps    = flag.Int("reps", 0, "repetitions per point (0 = scale default)")
 		seed    = flag.Int64("seed", 1, "base random seed")

@@ -31,7 +31,7 @@ var CtxLoop = &Analyzer{
 	Doc: "flag blocking loops, channel operations, and goroutines that never consult a " +
 		"context.Context and so cannot be cancelled",
 	Directive: "ctx-ok",
-	Packages:  []string{"internal/dist", "internal/sched", "internal/core"},
+	Packages:  []string{"internal/dist", "internal/sched", "internal/core", "internal/qfixd"},
 	Run:       runCtxLoop,
 }
 

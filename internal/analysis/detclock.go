@@ -13,13 +13,16 @@ import (
 // traces belongs to the callers (core's phase helper, obs spans), not
 // in here. The one sanctioned exception — enforcing a caller-supplied
 // TimeLimit, where divergence is the documented contract of hitting the
-// limit — carries a //qfix:det-ok directive at the site.
+// limit — carries a //qfix:det-ok directive at the site. The resident
+// daemon (internal/qfixd) is covered too: its repairs promise byte
+// identity with CLI runs, so any clock read on its serving path must
+// document that it is observability-only, never a decision input.
 var DetClock = &Analyzer{
 	Name: "detclock",
 	Doc: "flag time.Now/time.Since and math/rand in deterministic solver paths; " +
 		"wall-clock and randomness break byte-identical repairs",
 	Directive: "det-ok",
-	Packages:  []string{"internal/simplex", "internal/milp", "internal/encode"},
+	Packages:  []string{"internal/simplex", "internal/milp", "internal/encode", "internal/qfixd"},
 	Run:       runDetClock,
 }
 

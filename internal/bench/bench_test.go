@@ -12,8 +12,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Errorf("expected 20 experiments (every figure + ex2 + ablation + partition + distributed + impactcache + warmstart + solver), got %d", len(exps))
+	if len(exps) != 21 {
+		t.Errorf("expected 21 experiments (every figure + ex2 + ablation + partition + distributed + impactcache + warmstart + solver + daemon), got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -233,6 +233,32 @@ func TestDistributedQuickShape(t *testing.T) {
 	}
 	if strings.Contains(dialRow.Note, "streamed") {
 		t.Errorf("dial-2 claims streamed results: note=%q", dialRow.Note)
+	}
+}
+
+func TestDaemonQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := &Runner{Scale: Quick, Seed: 1}
+	table, err := r.FigDaemon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (one concurrency level at quick scale)", len(table.Rows))
+	}
+	row := table.Rows[0]
+	// Every response is checked against the local oracle inside FigDaemon;
+	// a surviving row means the daemon's repairs were byte-identical.
+	if row.Solved != 1 {
+		t.Errorf("daemon row not solved: %+v", row)
+	}
+	if row.P50MS <= 0 || row.P99MS < row.P50MS {
+		t.Errorf("implausible latency percentiles: p50=%v p99=%v", row.P50MS, row.P99MS)
+	}
+	if !strings.Contains(row.Note, "diagnoses/s") {
+		t.Errorf("note missing throughput: %q", row.Note)
 	}
 }
 

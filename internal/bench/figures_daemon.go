@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qfixd"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// FigDaemon measures the resident daemon under sustained mixed-tenant
+// load: one qfixd service (shared scheduler pool, per-tenant stores
+// with warm caches) on loopback TCP, T tenants with distinct corrupted
+// histories, and C concurrent clients issuing diagnose requests
+// round-robin across the tenants. Reported per concurrency level:
+// mean latency (TimeMS), latency percentiles (P50/P90/P99), and
+// sustained throughput in diagnoses/sec (Note). Every response is
+// checked against the tenant's locally computed repair, so the figure
+// doubles as a load-bearing byte-identity check — a daemon that
+// answered fast but wrong would fail, not score.
+func (r *Runner) FigDaemon() (*Table, error) {
+	var tenants, requests int
+	var clients []int
+	switch r.Scale {
+	case Quick:
+		tenants, requests, clients = 2, 12, []int{2}
+	case Large:
+		tenants, requests, clients = 8, 96, []int{1, 4, 16}
+	default:
+		tenants, requests, clients = 4, 32, []int{1, 4, 8}
+	}
+
+	t := &Table{ID: "daemon", Title: "resident daemon: sustained mixed-tenant diagnosis throughput",
+		XLabel: "clients",
+		Caption: fmt.Sprintf("%d tenants, %d diagnoses per point over loopback TCP; "+
+			"one shared scheduler pool and admission control (qfixd defaults); "+
+			"every response verified byte-identical to a local CLI-default diagnosis",
+			tenants, requests)}
+
+	dir, err := os.MkdirTemp("", "qfixd-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	svc := qfixd.NewService(qfixd.Config{Dir: dir})
+	srv := qfixd.NewServer(svc)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	go srv.Serve(l)
+	defer func() {
+		srv.Close()
+		svc.Close()
+	}()
+	addr := l.Addr().String()
+
+	seed, err := qfixd.DialDaemon(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer seed.Close()
+	type tenantState struct {
+		name    string
+		wantLog []string
+	}
+	states := make([]tenantState, tenants)
+	for i := range states {
+		name := fmt.Sprintf("tenant-%d", i)
+		sc := daemonScenario(float64(10 * i))
+		if err := seed.Create(name, "Taxes", "", daemonAttrs, sc.rows); err != nil {
+			return nil, err
+		}
+		if err := seed.Append(name, sc.sql...); err != nil {
+			return nil, err
+		}
+		if err := seed.Complain(name, sc.complaints); err != nil {
+			return nil, err
+		}
+		want, err := daemonOracle(sc)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = tenantState{name: name, wantLog: want}
+	}
+
+	for _, nc := range clients {
+		conns := make([]*qfixd.Client, nc)
+		for i := range conns {
+			if conns[i], err = qfixd.DialDaemon(addr); err != nil {
+				return nil, err
+			}
+		}
+		lat := make([]float64, requests)
+		errs := make([]error, nc)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < nc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c := conns[w]
+				for i := w; i < requests; i += nc {
+					st := states[i%tenants]
+					t0 := time.Now()
+					resp, err := c.Diagnose(st.name, nil, nil)
+					lat[i] = float64(time.Since(t0).Microseconds()) / 1000
+					if err != nil {
+						errs[w] = fmt.Errorf("%s: %w", st.name, err)
+						return
+					}
+					if !sameLog(resp.Log, st.wantLog) {
+						errs[w] = fmt.Errorf("%s: daemon repair diverges from local oracle", st.name)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		ms := mean(lat)
+		tput := float64(requests) / elapsed.Seconds()
+		t.Rows = append(t.Rows, Row{Series: "daemon", X: fmt.Sprint(nc),
+			TimeMS: ms, Solved: 1,
+			P50MS: percentile(lat, 0.50), P90MS: percentile(lat, 0.90), P99MS: percentile(lat, 0.99),
+			Note: fmt.Sprintf("%.1f diagnoses/s over %d tenants", tput, tenants)})
+		r.logf("daemon clients=%d: %.1fms mean, p99=%.1fms, %.1f diag/s",
+			nc, ms, percentile(lat, 0.99), tput)
+	}
+	return t, nil
+}
+
+// daemonOracle computes the expected repaired log exactly as a
+// default qfix CLI run would render it: core.Diagnose with the CLI's
+// default options, statements via Query.String.
+func daemonOracle(sc daemonScenarioSpec) ([]string, error) {
+	sch := relation.MustSchema("Taxes", daemonAttrs, "")
+	d0 := relation.NewTable(sch)
+	for _, row := range sc.rows {
+		d0.MustInsert(row...)
+	}
+	history := make([]query.Query, len(sc.sql))
+	for i, stmt := range sc.sql {
+		q, err := sqlparse.Parse(sch, stmt)
+		if err != nil {
+			return nil, err
+		}
+		history[i] = q
+	}
+	rep, err := core.Diagnose(d0, history, sc.complaints, core.Options{
+		Algorithm:    core.Incremental,
+		K:            1,
+		TupleSlicing: true,
+		QuerySlicing: true,
+		TimeLimit:    60 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Resolved {
+		return nil, fmt.Errorf("bench: daemon oracle did not resolve")
+	}
+	out := make([]string, len(rep.Log))
+	for i, q := range rep.Log {
+		out[i] = q.String(sch)
+	}
+	return out, nil
+}
+
+// daemonAttrs is the bench tenant schema.
+var daemonAttrs = []string{"income", "owed", "pay"}
+
+// daemonScenarioSpec is one tenant's corrupted history: the Figure 2
+// tax workload with incomes shifted per tenant so each tenant's repair
+// is distinct.
+type daemonScenarioSpec struct {
+	rows       [][]float64
+	sql        []string
+	complaints []core.Complaint
+}
+
+func daemonScenario(off float64) daemonScenarioSpec {
+	return daemonScenarioSpec{
+		rows: [][]float64{
+			{9500, 950, 8550},
+			{90000 + off, 22500, 67500},
+			{86000 + off, 21500, 64500},
+			{86500 + off, 21625, 64875},
+		},
+		sql: []string{
+			fmt.Sprintf("UPDATE Taxes SET owed = income * 0.3 WHERE income >= %g", 85700+off), // corrupted
+			"INSERT INTO Taxes VALUES (85800, 21450, 0)",
+			"UPDATE Taxes SET pay = income - owed",
+		},
+		complaints: []core.Complaint{
+			{TupleID: 3, Exists: true, Values: []float64{86000 + off, 21500, 64500 + off}},
+			{TupleID: 4, Exists: true, Values: []float64{86500 + off, 21625, 64875 + off}},
+		},
+	}
+}
+
+// percentile is the nearest-rank percentile of the latency population.
+func percentile(ms []float64, q float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+func mean(ms []float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range ms {
+		sum += m
+	}
+	return sum / float64(len(ms))
+}
+
+func sameLog(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

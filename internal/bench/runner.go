@@ -126,6 +126,7 @@ func Experiments() []Experiment {
 		{"impactcache", "Impact cache: repeat-diagnosis latency, cold vs cached vs incrementally extended", (*Runner).FigImpactCache},
 		{"warmstart", "Solver warm starts: seeded branch-and-bound across batches, partitions, and repeat diagnoses", (*Runner).FigWarmStart},
 		{"solver", "MILP solver stack: presolve and parallel branch-and-bound on big-M models", (*Runner).FigSolver},
+		{"daemon", "Resident multi-tenant daemon: sustained mixed-tenant diagnosis throughput and latency percentiles", (*Runner).FigDaemon},
 	}
 }
 

@@ -24,6 +24,12 @@ type Row struct {
 	EncodeMS float64 `json:",omitempty"`
 	SolveMS  float64 `json:",omitempty"`
 	MergeMS  float64 `json:",omitempty"`
+	// Latency percentiles (ms) for experiments that measure a request
+	// population rather than repeated identical runs (the daemon
+	// figure); zero elsewhere and omitted from the JSON.
+	P50MS float64 `json:",omitempty"`
+	P90MS float64 `json:",omitempty"`
+	P99MS float64 `json:",omitempty"`
 	// Note carries figure-specific extras (model rows, batches, ...).
 	Note string
 }

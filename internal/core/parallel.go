@@ -56,7 +56,7 @@ func (d *diagnoser) incrementalParallel() (*Repair, error) {
 		stats    Stats
 	}
 	var stop atomic.Bool
-	results, wait := schedule(d.opt.Parallel, len(batches), func(bi int) outcome {
+	results, wait := schedule(d.opt.Scheduler, d.opt.Parallel, len(batches), func(bi int) outcome {
 		defer bspans[bi].End()
 		var st Stats
 		if stop.Load() || (!d.deadline.IsZero() && time.Now().After(d.deadline)) {

@@ -237,6 +237,11 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 	sub.TotalTimeLimit = 0 // the outer deadline is enforced per job below
 	sub.PartitionSolver = nil
 	sub.Workers = nil
+	// Partition jobs already run on the scan's scheduler; a sub-diagnosis
+	// scheduling nested scans from a pool worker could deadlock the pool,
+	// so subs never carry one (their Parallel=1/Partition=0 settings make
+	// this unreachable anyway — this pins the invariant).
+	sub.Scheduler = nil
 
 	// Partition spans are pre-created in plan (index) order by this
 	// goroutine, so the trace's partition list is deterministic
@@ -260,7 +265,7 @@ func (d *diagnoser) solvePartitions(parts []partition) ([]*Repair, error) {
 		queueWait time.Duration
 		solve     time.Duration
 	}
-	results, wait := scheduleOrder(d.opt.Partition, len(parts), largestFirst(parts), func(i int) outcome {
+	results, wait := scheduleOrder(d.opt.Scheduler, d.opt.Partition, len(parts), largestFirst(parts), func(i int) outcome {
 		jobStart := time.Now()
 		qspans[i].End()
 		defer pspans[i].End()

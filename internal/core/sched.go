@@ -8,12 +8,22 @@ import "repro/internal/sched"
 // (parallel.go) and the partition scan (partition.go). The machinery
 // lives in internal/sched (a leaf package) so the milp parallel
 // branch-and-bound can share it without an import cycle.
-func schedule[R any](workers, n int, job func(i int) R) (results []chan R, wait func()) {
-	return sched.Schedule(workers, n, job)
+//
+// With Options.Scheduler set (resident services: internal/qfixd), the
+// jobs run on that long-lived shared pool instead of fresh goroutines,
+// `workers` then bounding this scan's share of the pool; the
+// determinism contract (adjudication in submission order via per-job
+// 1-buffered channels) is identical either way, so the chosen repair
+// does not depend on which mode ran the scan.
+func schedule[R any](p *sched.Pool, workers, n int, job func(i int) R) (results []chan R, wait func()) {
+	return scheduleOrder(p, workers, n, nil, job)
 }
 
 // scheduleOrder is schedule with an explicit start order; see
 // sched.ScheduleOrder for the determinism contract.
-func scheduleOrder[R any](workers, n int, order []int, job func(i int) R) (results []chan R, wait func()) {
+func scheduleOrder[R any](p *sched.Pool, workers, n int, order []int, job func(i int) R) (results []chan R, wait func()) {
+	if p != nil {
+		return sched.OnPool(p, workers, n, order, job)
+	}
 	return sched.ScheduleOrder(workers, n, order, job)
 }

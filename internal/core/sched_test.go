@@ -4,65 +4,93 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"repro/internal/sched"
 )
 
-// With a single pool worker the start sequence is exactly the feed
+// schedPools returns the scheduler variants every contract test must
+// hold under: the legacy per-scan goroutines (nil) and a resident
+// shared pool (Options.Scheduler). The determinism contract — results
+// adjudicated in submission order via per-job 1-buffered channels — is
+// identical in both modes, and these tests pin that.
+func schedPools(t *testing.T) map[string]*sched.Pool {
+	t.Helper()
+	p := sched.NewPool(2)
+	t.Cleanup(p.Close)
+	return map[string]*sched.Pool{"goroutines": nil, "pool": p}
+}
+
+// With a single scan worker the start sequence is exactly the feed
 // order, so the explicit order is observable deterministically.
 func TestScheduleOrderStartsJobsInGivenOrder(t *testing.T) {
-	order := []int{3, 1, 0, 2}
-	var mu sync.Mutex
-	var started []int
-	results, wait := scheduleOrder(1, 4, order, func(i int) int {
-		mu.Lock()
-		started = append(started, i)
-		mu.Unlock()
-		return i * i
-	})
-	wait()
-	if !reflect.DeepEqual(started, order) {
-		t.Errorf("start order = %v, want %v", started, order)
-	}
-	// Adjudication stays in submission (index) order regardless of the
-	// start order: results[i] always carries job i's result.
-	for i := 0; i < 4; i++ {
-		if got := <-results[i]; got != i*i {
-			t.Errorf("results[%d] = %d, want %d", i, got, i*i)
-		}
+	for name, pool := range schedPools(t) {
+		t.Run(name, func(t *testing.T) {
+			order := []int{3, 1, 0, 2}
+			var mu sync.Mutex
+			var started []int
+			results, wait := scheduleOrder(pool, 1, 4, order, func(i int) int {
+				mu.Lock()
+				started = append(started, i)
+				mu.Unlock()
+				return i * i
+			})
+			wait()
+			if !reflect.DeepEqual(started, order) {
+				t.Errorf("start order = %v, want %v", started, order)
+			}
+			// Adjudication stays in submission (index) order regardless of
+			// the start order: results[i] always carries job i's result.
+			for i := 0; i < 4; i++ {
+				if got := <-results[i]; got != i*i {
+					t.Errorf("results[%d] = %d, want %d", i, got, i*i)
+				}
+			}
+		})
 	}
 }
 
 // Nil order is the identity: the legacy schedule contract.
 func TestScheduleIdentityOrder(t *testing.T) {
-	var mu sync.Mutex
-	var started []int
-	results, wait := schedule(1, 5, func(i int) int {
-		mu.Lock()
-		started = append(started, i)
-		mu.Unlock()
-		return i
-	})
-	wait()
-	if !reflect.DeepEqual(started, []int{0, 1, 2, 3, 4}) {
-		t.Errorf("start order = %v, want identity", started)
-	}
-	for i := 0; i < 5; i++ {
-		if got := <-results[i]; got != i {
-			t.Errorf("results[%d] = %d, want %d", i, got, i)
-		}
+	for name, pool := range schedPools(t) {
+		t.Run(name, func(t *testing.T) {
+			var mu sync.Mutex
+			var started []int
+			results, wait := schedule(pool, 1, 5, func(i int) int {
+				mu.Lock()
+				started = append(started, i)
+				mu.Unlock()
+				return i
+			})
+			wait()
+			if !reflect.DeepEqual(started, []int{0, 1, 2, 3, 4}) {
+				t.Errorf("start order = %v, want identity", started)
+			}
+			for i := 0; i < 5; i++ {
+				if got := <-results[i]; got != i {
+					t.Errorf("results[%d] = %d, want %d", i, got, i)
+				}
+			}
+		})
 	}
 }
 
-// Every job must deliver exactly once even when the pool is wider than
-// the job list or bounded below it.
+// Every job must deliver exactly once even when the scan is wider than
+// the job list or bounded below it — including when the scan width
+// exceeds the resident pool's own worker count (jobs then queue on the
+// pool but still all complete).
 func TestScheduleDeliversAllJobs(t *testing.T) {
-	for _, workers := range []int{0, 1, 2, 7, 100} {
-		results, wait := schedule(workers, 7, func(i int) int { return i + 1 })
-		wait()
-		for i := 0; i < 7; i++ {
-			if got := <-results[i]; got != i+1 {
-				t.Errorf("workers=%d: results[%d] = %d, want %d", workers, i, got, i+1)
+	for name, pool := range schedPools(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{0, 1, 2, 7, 100} {
+				results, wait := schedule(pool, workers, 7, func(i int) int { return i + 1 })
+				wait()
+				for i := 0; i < 7; i++ {
+					if got := <-results[i]; got != i+1 {
+						t.Errorf("workers=%d: results[%d] = %d, want %d", workers, i, got, i+1)
+					}
+				}
 			}
-		}
+		})
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/sched"
 )
 
 // Complaint identifies one tuple of the final state together with its
@@ -98,6 +99,18 @@ type Options struct {
 	// beyond the paper (its closing "additional methods of scaling the
 	// constraint analysis" direction).
 	Partition int
+
+	// Scheduler, when non-nil, runs the engine's solve scans (the
+	// incremental batch scan and the partition scan) on this resident
+	// shared worker pool instead of spinning up fresh goroutines per
+	// scan. Parallel/Partition still bound each scan's share of the
+	// pool; the pool's own size bounds the process total, which is what
+	// a resident multi-tenant service (internal/qfixd) needs when many
+	// diagnoses run concurrently. Process-local: never serialized, and
+	// partition subproblems shipped to workers solve without it. The
+	// chosen repair is identical with or without a Scheduler (results
+	// are adjudicated in submission order either way).
+	Scheduler *sched.Pool
 
 	// PartitionSolver, when non-nil, dispatches each partition
 	// subproblem instead of the in-process engine — the hook behind

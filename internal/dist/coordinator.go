@@ -66,20 +66,35 @@ type Coordinator struct {
 	remoteJobs atomic.Int64
 	localJobs  atomic.Int64
 
-	// Every partition job of one diagnosis carries the identical D0 and
-	// log, so their wire encodings are computed once and shared (the
-	// serialized forms are read-only). Keyed by identity plus cheap
-	// mutation witnesses; Diagnose additionally resets the cache per run.
-	encMu        sync.Mutex
-	encD0        *relation.Table
-	encD0Len     int
-	encNextID    int64
-	encTable     wireTable
-	encD0Digest  uint64
-	encLogPtr    *query.Query
-	encLogLen    int
-	encLog       []wireQuery
-	encLogDigest uint64
+	// enc memoizes job encodings for callers that install the
+	// Coordinator itself as the PartitionSolver (one diagnosis at a
+	// time); concurrent diagnoses each get a private memo via Solver()
+	// so tenants sharing one coordinator never thrash or cross-read
+	// each other's encodings. See encMemo.
+	enc encMemo
+}
+
+// encMemo memoizes the wire encodings of one diagnosis's D0 and log:
+// every partition job of a diagnosis carries the identical initial
+// state and log, so they are serialized once and shared read-only
+// across jobs, along with content digests of both (the workers' decode
+// cache keys). Keyed by identity plus cheap mutation witnesses (length,
+// next ID); a memo is scoped to one diagnosis by construction
+// (Solver/Diagnose hand each run a fresh one), which is what makes a
+// single Coordinator safe to share across concurrent diagnoses of
+// different tenants — there is no per-run reset of shared state to
+// race on, and no cross-tenant eviction.
+type encMemo struct {
+	mu        sync.Mutex
+	d0        *relation.Table
+	d0Len     int
+	nextID    int64
+	table     wireTable
+	d0Digest  uint64
+	logPtr    *query.Query
+	logLen    int
+	log       []wireQuery
+	logDigest uint64
 }
 
 // NewCoordinator builds a coordinator over the given transports. With no
@@ -144,7 +159,39 @@ const transportSlack = 10 * time.Second
 // same budget, not a fresh one each, and a fallback that starts with the
 // budget exhausted returns the engine's "total-time-limit" outcome
 // instead of solving on borrowed time.
+//
+// Installing the Coordinator itself runs all jobs against one shared
+// encoding memo, which is right for one diagnosis at a time; callers
+// multiplexing concurrent diagnoses over one coordinator should install
+// a per-diagnosis Solver() instead.
 func (c *Coordinator) SolvePartition(sub core.Subproblem) (*core.Repair, error) {
+	return c.solvePartition(sub, &c.enc)
+}
+
+// Solver returns a per-diagnosis core.PartitionSolver over this
+// coordinator: it shares the coordinator's transports, round-robin
+// cursor, job IDs, and retry/fallback policy, but carries its own
+// encoding memo. This is the entry point for resident services
+// (internal/qfixd) that run many concurrent diagnoses — of different
+// tenants, hence different D0/log pairs — over one long-lived fleet:
+// each diagnosis's partition jobs share that diagnosis's encodings
+// without evicting or racing any other diagnosis's.
+func (c *Coordinator) Solver() core.PartitionSolver {
+	return &runSolver{c: c, enc: new(encMemo)}
+}
+
+// runSolver is one diagnosis's view of a shared Coordinator.
+type runSolver struct {
+	c   *Coordinator
+	enc *encMemo
+}
+
+// SolvePartition implements core.PartitionSolver.
+func (r *runSolver) SolvePartition(sub core.Subproblem) (*core.Repair, error) {
+	return r.c.solvePartition(sub, r.enc)
+}
+
+func (c *Coordinator) solvePartition(sub core.Subproblem, enc *encMemo) (*core.Repair, error) {
 	// The engine hands each partition its own span via Options.Trace;
 	// dispatch attempts and the local fallback hang under it so a traced
 	// distributed run shows exactly where every partition's time went.
@@ -155,7 +202,7 @@ func (c *Coordinator) SolvePartition(sub core.Subproblem) (*core.Repair, error) 
 	}
 	if len(c.transports) > 0 {
 		mDistJobs.Inc()
-		job, err := c.encodeJob(c.nextJobID.Add(1), sub)
+		job, err := enc.encodeJob(c.nextJobID.Add(1), sub)
 		if err == nil {
 			if rep, ok := c.dispatch(job, deadline, sp); ok {
 				return rep, nil
@@ -338,42 +385,39 @@ func attemptTimeout(jobTimeout, remain time.Duration, attemptsLeft int) time.Dur
 	return timeout
 }
 
-// encodeJob builds the wire job, memoizing the D0 and log encodings:
-// every partition of one diagnosis ships the identical initial state and
-// log, so they are serialized once and shared read-only across jobs,
-// along with content digests of both — computed here once per run and
-// stamped on every job so workers can key their decode caches. The
-// cache keys on identity plus cheap mutation witnesses (length, next ID)
-// and is reset per Diagnose run; callers that install the coordinator
-// directly and mutate a table in place between diagnoses should use a
-// fresh coordinator or Diagnose, which resets the cache.
-func (c *Coordinator) encodeJob(id uint64, sub core.Subproblem) (*Job, error) {
-	c.encMu.Lock()
-	defer c.encMu.Unlock()
-	if c.encD0 != sub.D0 || c.encD0Len != sub.D0.Len() || c.encNextID != sub.D0.NextID() {
-		c.encD0, c.encD0Len, c.encNextID = sub.D0, sub.D0.Len(), sub.D0.NextID()
-		c.encTable = encodeTable(sub.D0)
-		c.encD0Digest = digestJSON(c.encTable)
+// encodeJob builds the wire job, memoizing the D0 and log encodings
+// (see encMemo). The identity+witness keying means a caller that
+// mutates a table in place between diagnoses against the SAME memo —
+// only possible by installing the Coordinator directly as the solver —
+// should use a per-run Solver() or Diagnose, both of which scope the
+// memo to one run.
+func (m *encMemo) encodeJob(id uint64, sub core.Subproblem) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.d0 != sub.D0 || m.d0Len != sub.D0.Len() || m.nextID != sub.D0.NextID() {
+		m.d0, m.d0Len, m.nextID = sub.D0, sub.D0.Len(), sub.D0.NextID()
+		m.table = encodeTable(sub.D0)
+		m.d0Digest = digestJSON(m.table)
 	}
 	var logPtr *query.Query
 	if len(sub.Log) > 0 {
 		logPtr = &sub.Log[0]
 	}
-	if c.encLog == nil || c.encLogPtr != logPtr || c.encLogLen != len(sub.Log) {
+	if m.log == nil || m.logPtr != logPtr || m.logLen != len(sub.Log) {
 		logw, err := encodeLog(sub.Log)
 		if err != nil {
 			return nil, err
 		}
-		c.encLogPtr, c.encLogLen, c.encLog = logPtr, len(sub.Log), logw
-		c.encLogDigest = digestJSON(logw)
+		m.logPtr, m.logLen, m.log = logPtr, len(sub.Log), logw
+		m.logDigest = digestJSON(logw)
 	}
 	return &Job{
 		Version:    WireVersion,
 		ID:         id,
-		D0Digest:   c.encD0Digest,
-		LogDigest:  c.encLogDigest,
-		D0:         c.encTable,
-		Log:        c.encLog,
+		D0Digest:   m.d0Digest,
+		LogDigest:  m.logDigest,
+		D0:         m.table,
+		Log:        m.log,
 		Complaints: sub.Complaints,
 		Options:    encodeOptions(sub.Options),
 	}, nil
@@ -392,17 +436,10 @@ func digestJSON(v any) uint64 {
 	return h.Sum64()
 }
 
-// resetEncCache drops the memoized encodings.
-func (c *Coordinator) resetEncCache() {
-	c.encMu.Lock()
-	c.encD0, c.encTable, c.encD0Digest = nil, wireTable{}, 0
-	c.encLogPtr, c.encLog, c.encLogDigest = nil, nil, 0
-	c.encMu.Unlock()
-}
-
 // Diagnose runs a full distributed diagnosis: planning, merging and
-// verification happen in-process via core.Diagnose, with this
-// coordinator installed as the partition solver. Partition defaults to
+// verification happen in-process via core.Diagnose, with a per-run
+// solver (Solver) installed so concurrent Diagnose calls on one shared
+// coordinator never cross-pollute encoding memos. Partition defaults to
 // the worker count when unset so the dispatch pipeline is as wide as the
 // fleet.
 func (c *Coordinator) Diagnose(d0 *relation.Table, log []query.Query,
@@ -413,9 +450,7 @@ func (c *Coordinator) Diagnose(d0 *relation.Table, log []query.Query,
 			opt.Partition = 1
 		}
 	}
-	opt.PartitionSolver = c
-	c.resetEncCache()
-	defer c.resetEncCache()
+	opt.PartitionSolver = c.Solver()
 	return core.Diagnose(d0, log, complaints, opt)
 }
 

@@ -53,6 +53,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -71,8 +72,19 @@ const snapFormat = 2
 // comment, so legacy readers (and grep) skip it naturally.
 const logGenPrefix = "-- qfixlog gen "
 
-// Store is an open history directory.
+// Store is an open history directory. A Store is safe for concurrent
+// use: writers (Append, Checkpoint, Close) serialize behind a write
+// lock, readers take a read lock, and Diagnose snapshots the history
+// under the read lock but runs the actual diagnosis unlocked — so a
+// resident service (internal/qfixd) can keep appending to a tenant's
+// store while a long diagnosis of its earlier state is in flight. The
+// snapshot discipline is what makes the unlocked run sound: the log is
+// append-only (a reader's slice header never sees later entries) and
+// Checkpoint replaces the d0 pointer rather than mutating the table, so
+// a diagnosis always sees the consistent (d0, log, digest) triple it
+// captured.
 type Store struct {
+	mu     sync.RWMutex
 	dir    string
 	schema *relation.Schema
 	d0     *relation.Table
@@ -399,6 +411,8 @@ func parseLogGen(line string) (int64, bool) {
 
 // Close releases the log file handle.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.logF == nil {
 		return nil
 	}
@@ -407,14 +421,23 @@ func (s *Store) Close() error {
 	return err
 }
 
-// Schema returns the table schema.
+// Schema returns the table schema. Schemas are immutable after Open, so
+// no lock is needed.
 func (s *Store) Schema() *relation.Schema { return s.schema }
 
 // D0 returns a copy of the checkpoint state.
-func (s *Store) D0() *relation.Table { return s.d0.Clone() }
+func (s *Store) D0() *relation.Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d0.Clone()
+}
 
 // Log returns a copy of the persisted query log.
-func (s *Store) Log() []query.Query { return query.CloneLog(s.log) }
+func (s *Store) Log() []query.Query {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return query.CloneLog(s.log)
+}
 
 // ImpactCache returns the store's impact cache (shared by every
 // Diagnose on this store).
@@ -426,6 +449,12 @@ func (s *Store) SolutionCache() *core.SolutionCache { return s.solutions }
 
 // Append durably adds a statement to the log.
 func (s *Store) Append(q query.Query) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(q)
+}
+
+func (s *Store) appendLocked(q query.Query) error {
 	if s.logF == nil {
 		return fmt.Errorf("histstore: store is closed")
 	}
@@ -466,7 +495,9 @@ func (s *Store) extendImpact() {
 	s.cache.Put(s.digest, len(s.log), s.impact)
 }
 
-// AppendSQL parses and durably adds a statement written in SQL.
+// AppendSQL parses and durably adds a statement written in SQL. The
+// parse runs outside the lock (it touches only the immutable schema);
+// only the durable append itself serializes with other writers.
 func (s *Store) AppendSQL(sql string) (query.Query, error) {
 	q, err := sqlparse.Parse(s.schema, sql)
 	if err != nil {
@@ -479,9 +510,13 @@ func (s *Store) AppendSQL(sql string) (query.Query, error) {
 }
 
 // Current replays the whole log over the checkpoint and returns the
-// current state Dn.
+// current state Dn. The replay works on a clone, so only the snapshot
+// of (d0, log) is taken under the lock.
 func (s *Store) Current() (*relation.Table, error) {
-	return query.Replay(s.log, s.d0)
+	s.mu.RLock()
+	d0, log := s.d0, s.log
+	s.mu.RUnlock()
+	return query.Replay(log, d0)
 }
 
 // Diagnose runs QFix over the store's checkpoint state and log with the
@@ -494,6 +529,15 @@ func (s *Store) Current() (*relation.Table, error) {
 // PartitionSolver), partition subproblems ship to a dist coordinator
 // exactly as in the top-level qfix.Diagnose.
 func (s *Store) Diagnose(complaints []core.Complaint, opt core.Options) (*core.Repair, error) {
+	// Snapshot the history under the read lock, then diagnose unlocked:
+	// the log is append-only and Checkpoint swaps the d0 pointer rather
+	// than mutating the table, so the captured (d0, log, digest) triple
+	// stays internally consistent for the whole run even while writers
+	// proceed. The engine never mutates its inputs (replay verification
+	// clones), so concurrent diagnoses may share the same snapshot.
+	s.mu.RLock()
+	d0, log, digest := s.d0, s.log, s.digest
+	s.mu.RUnlock()
 	if opt.ImpactCache == nil {
 		opt.ImpactCache = s.cache
 	}
@@ -501,22 +545,28 @@ func (s *Store) Diagnose(complaints []core.Complaint, opt core.Options) (*core.R
 		opt.SolutionCache = s.solutions
 	}
 	if opt.LogDigest == 0 {
-		opt.LogDigest = s.digest // exact-hit fast path: no SQL re-rendering
+		opt.LogDigest = digest // exact-hit fast path: no SQL re-rendering
 	}
 	mDiagnoses.Inc()
 	var rep *core.Repair
 	var err error
 	if len(opt.Workers) > 0 && opt.PartitionSolver == nil {
-		rep, err = dist.DiagnoseWorkers(opt.Workers, s.d0, s.log, complaints, opt)
+		rep, err = dist.DiagnoseWorkers(opt.Workers, d0, log, complaints, opt)
 	} else {
-		rep, err = core.Diagnose(s.d0, s.log, complaints, opt)
+		rep, err = core.Diagnose(d0, log, complaints, opt)
 	}
 	if err == nil && opt.ImpactCache == s.cache {
 		// Adopt the closure the diagnosis (or a predecessor) cached so
-		// future Appends extend it eagerly.
-		if full, ok := s.cache.Cached(s.digest, len(s.log)); ok {
-			s.impact = full
+		// future Appends extend it eagerly — but only if the store still
+		// holds the history this diagnosis saw; a closure for a stale
+		// digest must not seed eager extension of a different log.
+		s.mu.Lock()
+		if s.digest == digest && len(s.log) == len(log) {
+			if full, ok := s.cache.Cached(digest, len(log)); ok {
+				s.impact = full
+			}
 		}
+		s.mu.Unlock()
 	}
 	return rep, err
 }
@@ -534,7 +584,12 @@ func (s *Store) Diagnose(complaints []core.Complaint, opt core.Options) (*core.R
 // exactly (format 2), so complaints and caches keyed by TupleID remain
 // valid across the checkpoint even when DELETEs removed rows.
 func (s *Store) Checkpoint() error {
-	cur, err := s.Current()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Replay inline rather than via Current: the write lock is held (the
+	// RWMutex is not reentrant) and the checkpoint must be computed from
+	// exactly the state it will commit.
+	cur, err := query.Replay(s.log, s.d0)
 	if err != nil {
 		return err
 	}

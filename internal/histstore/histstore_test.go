@@ -1,6 +1,7 @@
 package histstore
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -491,5 +492,78 @@ func TestCheckpointCrashRecoversDespiteTornStaleLog(t *testing.T) {
 	}
 	if d := relation.DiffTables(re.D0(), cur, 1e-9); len(d) != 0 {
 		t.Errorf("recovered D0 differs from checkpoint state: %d diffs", len(d))
+	}
+}
+
+// One store, one goroutine appending, one diagnosing — the resident
+// service's steady state. Run with -race this pins the Store's
+// concurrency contract: a diagnosis snapshots a consistent history
+// prefix and keeps working while appends land, and the eagerly
+// extended impact closure is only adopted for the history it was
+// computed over.
+func TestConcurrentAppendAndDiagnose(t *testing.T) {
+	s, _ := newStore(t)
+	s.AppendSQL("UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700") // corrupted
+	s.AppendSQL("INSERT INTO Taxes VALUES (85800, 21450, 0)")
+	complaints := []core.Complaint{
+		{TupleID: 3, Exists: true, Values: []float64{86000, 21500, 64500}},
+		{TupleID: 4, Exists: true, Values: []float64{86500, 21625, 64875}},
+	}
+	opt := core.Options{
+		Algorithm:    core.Incremental,
+		TupleSlicing: true,
+		QuerySlicing: true,
+		TimeLimit:    30 * time.Second,
+	}
+
+	const rounds = 8
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if _, err := s.AppendSQL("UPDATE Taxes SET pay = income - owed"); err != nil {
+				done <- err
+				return
+			}
+			if _, err := s.Current(); err != nil {
+				done <- err
+				return
+			}
+			s.D0()
+			s.Log()
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < rounds; i++ {
+			rep, err := s.Diagnose(complaints, opt)
+			if err != nil {
+				done <- err
+				return
+			}
+			// The corrupted UPDATE is statement 0 in every snapshot the
+			// diagnosis can capture, so the verdict is stable no matter
+			// how many benign appends interleave.
+			if !rep.Resolved || len(rep.Changed) != 1 || rep.Changed[0] != 0 {
+				done <- fmt.Errorf("round %d: resolved=%v changed=%v", i, rep.Resolved, rep.Changed)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The store's state is still coherent after the interleaving.
+	if got := len(s.Log()); got != 2+rounds {
+		t.Errorf("log len = %d, want %d", got, 2+rounds)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Log()); got != 0 {
+		t.Errorf("log len after checkpoint = %d", got)
 	}
 }

@@ -1,0 +1,22 @@
+package qfixd
+
+import "repro/internal/obs"
+
+// Process-wide metrics on obs.Default(), exposed by cmd/qfixd's admin
+// endpoint (/metrics). The daemon family describes the service's front
+// door; the engine, dist, and histstore families fill in what each
+// admitted diagnosis then did.
+var (
+	mRequests = obs.Default().Counter("qfix_daemon_requests_total",
+		"Diagnose requests received (before admission).")
+	mBusy = obs.Default().Counter("qfix_daemon_busy_total",
+		"Diagnose requests refused with backpressure (tenant queue full).")
+	mInflight = obs.Default().Gauge("qfix_daemon_inflight",
+		"Diagnoses currently running.")
+	mQueueDepth = obs.Default().Gauge("qfix_daemon_queue_depth",
+		"Diagnose requests waiting for an inflight slot, across all tenants.")
+	mDiagnoseSeconds = obs.Default().Histogram("qfix_daemon_diagnose_seconds",
+		"Per-diagnosis wall time as served (queue wait excluded).", nil)
+	mTenants = obs.Default().Gauge("qfix_daemon_tenants",
+		"Tenant stores currently resident.")
+)

@@ -1,0 +1,449 @@
+// Package qfixd is the resident diagnosis service: one long-lived
+// process owning many histstore directories (one per tenant), a shared
+// scheduler pool, and an optional shared worker fleet, multiplexing
+// concurrent append/complain/diagnose requests from many clients onto
+// them.
+//
+// The one-shot entry points (qfix.Diagnose, the qfix CLI) wire the
+// whole engine up per call: a scheduler's goroutines, a coordinator's
+// connections, and a store's caches all live exactly as long as one
+// diagnosis. That is the right shape for a batch audit and the wrong
+// one for a deployment that diagnoses continuously: every call re-dials
+// the fleet, re-materializes impact closures, and fights other calls
+// for cores without any admission policy. qfixd inverts the ownership —
+//
+//   - one sched.Pool (Config.PoolWorkers) runs every diagnosis's batch
+//     and partition scans via core.Options.Scheduler, so concurrent
+//     diagnoses share cores instead of over-subscribing them;
+//   - one dist.Coordinator (Config.Workers) holds the fleet
+//     connections; each diagnosis gets a private encoding memo via
+//     Coordinator.Solver, so tenants never thrash each other's
+//     encodings;
+//   - one histstore.Store per tenant stays open with its impact and
+//     solution caches warm across requests (the stores are themselves
+//     concurrency-safe: appends keep landing while diagnoses run);
+//   - admission control bounds concurrent diagnoses globally
+//     (Config.MaxInflight) and queues excess per tenant, draining the
+//     queues round-robin so a flooding tenant cannot starve the rest,
+//     and rejecting beyond Config.TenantQueue with ErrBusy instead of
+//     queueing unboundedly.
+//
+// The determinism guarantee survives residency: a diagnosis adjudicates
+// its scans in submission order whether jobs run on the shared pool or
+// on per-call goroutines (see internal/sched), so a repair computed by
+// qfixd is byte-identical to the same diagnosis run by the qfix CLI.
+// The e2e tests pin exactly that.
+//
+// Server (server.go) speaks a newline-delimited JSON protocol over TCP
+// (wire.go) in the same idiom as the dist worker protocol; Client
+// (client.go) is the matching Go client.
+package qfixd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/histstore"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/sched"
+)
+
+// DefaultTenantQueue is the per-tenant cap on diagnoses waiting for an
+// inflight slot when Config.TenantQueue is zero.
+const DefaultTenantQueue = 16
+
+// ErrDraining is returned for new work while the service shuts down.
+var ErrDraining = errors.New("qfixd: draining")
+
+// Config configures a Service.
+type Config struct {
+	// Dir is the root data directory; each tenant's histstore lives in
+	// a subdirectory named after the tenant.
+	Dir string
+	// MaxInflight bounds concurrent diagnoses across all tenants.
+	// Zero picks runtime.GOMAXPROCS; negative forces one at a time.
+	MaxInflight int
+	// TenantQueue caps how many diagnoses per tenant may wait for a
+	// slot; requests beyond it fail fast with ErrBusy. Zero picks
+	// DefaultTenantQueue; negative disables waiting entirely.
+	TenantQueue int
+	// Workers lists qfix-worker addresses; when non-empty the service
+	// holds one shared coordinator over them for its whole lifetime.
+	Workers []string
+	// Mux selects persistent multiplexed worker connections (wire v3).
+	Mux bool
+	// Partition is the default Options.Partition for diagnoses that do
+	// not request one (0 lets each request's options decide).
+	Partition int
+	// PoolWorkers sizes the resident scheduler pool shared by every
+	// diagnosis's scans. Zero picks runtime.GOMAXPROCS.
+	PoolWorkers int
+	// TraceDir, when set, roots a span tree per diagnose request and
+	// writes it to <TraceDir>/<tenant>-<seq>.jsonl.
+	TraceDir string
+	// Logf, when set, receives one line per request and lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Service owns the resident state and serves tenant operations. It is
+// safe for concurrent use; Server exposes it over TCP, and tests and
+// embedded deployments may call it directly.
+type Service struct {
+	cfg   Config
+	pool  *sched.Pool
+	coord *dist.Coordinator
+	adm   *admission
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	closed  bool
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	traceSeq atomic.Uint64
+}
+
+// tenant is one tenant's resident state: its open store and the
+// complaints staged (via the complain op) for its next diagnosis.
+type tenant struct {
+	mu     sync.Mutex
+	store  *histstore.Store
+	staged []core.Complaint
+}
+
+// NewService builds the resident state: the scheduler pool starts
+// immediately, the coordinator dials lazily on first dispatch (dist
+// transports are lazy), stores open on first use per tenant.
+func NewService(cfg Config) *Service {
+	pw := cfg.PoolWorkers
+	if pw <= 0 {
+		pw = runtime.GOMAXPROCS(0)
+	}
+	s := &Service{
+		cfg:     cfg,
+		pool:    sched.NewPool(pw),
+		adm:     newAdmission(cfg.MaxInflight, cfg.TenantQueue),
+		tenants: make(map[string]*tenant),
+	}
+	if len(cfg.Workers) > 0 {
+		s.coord = dist.Connect(dist.Config{Mux: cfg.Mux, Logf: cfg.Logf}, cfg.Workers...)
+	}
+	return s
+}
+
+// Drain marks the service as draining: new diagnoses (and other tenant
+// ops) fail with ErrDraining while in-flight diagnoses run to
+// completion. Wait blocks until they have.
+func (s *Service) Drain() { s.draining.Store(true) }
+
+// Wait blocks until every in-flight diagnosis has finished.
+func (s *Service) Wait() { s.inflight.Wait() }
+
+// Close drains, waits for in-flight diagnoses, and releases everything:
+// tenant stores, the fleet coordinator, and the scheduler pool.
+func (s *Service) Close() error {
+	s.Drain()
+	s.Wait()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	tenants := s.tenants
+	s.tenants = make(map[string]*tenant)
+	s.mu.Unlock()
+	var first error
+	for _, tn := range tenants {
+		if err := tn.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.coord != nil {
+		if err := s.coord.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.pool.Close()
+	return first
+}
+
+// validTenant reports whether name is usable as a tenant (and thus a
+// directory) name: non-empty, no path separators or traversal.
+func validTenant(name string) bool {
+	if name == "" || name == "." || name == ".." || len(name) > 128 {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\\x00")
+}
+
+// tenantDir is the tenant's histstore directory.
+func (s *Service) tenantDir(name string) string {
+	return filepath.Join(s.cfg.Dir, name)
+}
+
+// lookup returns the tenant's resident state, opening its store from
+// disk on first use. With create=false a tenant with no store directory
+// is an error.
+func (s *Service) lookup(name string) (*tenant, error) {
+	if !validTenant(name) {
+		return nil, fmt.Errorf("qfixd: invalid tenant name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrDraining
+	}
+	if tn, ok := s.tenants[name]; ok {
+		return tn, nil
+	}
+	store, err := histstore.Open(s.tenantDir(name))
+	if err != nil {
+		return nil, fmt.Errorf("qfixd: tenant %q: %w", name, err)
+	}
+	tn := &tenant{store: store}
+	s.tenants[name] = tn
+	mTenants.Set(int64(len(s.tenants)))
+	return tn, nil
+}
+
+// Create initializes a new tenant with the given checkpoint state.
+func (s *Service) Create(name, table, key string, attrs []string, rows [][]float64) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if !validTenant(name) {
+		return fmt.Errorf("qfixd: invalid tenant name %q", name)
+	}
+	sch, err := relation.NewSchema(table, attrs, key)
+	if err != nil {
+		return err
+	}
+	d0 := relation.NewTable(sch)
+	for i, row := range rows {
+		if _, err := d0.Insert(row); err != nil {
+			return fmt.Errorf("qfixd: row %d: %w", i+1, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrDraining
+	}
+	if _, ok := s.tenants[name]; ok {
+		return fmt.Errorf("qfixd: tenant %q already exists", name)
+	}
+	store, err := histstore.Create(s.tenantDir(name), d0)
+	if err != nil {
+		return err
+	}
+	s.tenants[name] = &tenant{store: store}
+	mTenants.Set(int64(len(s.tenants)))
+	return nil
+}
+
+// Append durably appends SQL statements to the tenant's log, in order,
+// stopping at the first statement that fails to parse or persist.
+func (s *Service) Append(name string, sql []string) (int, error) {
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	tn, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	for i, stmt := range sql {
+		if _, err := tn.store.AppendSQL(stmt); err != nil {
+			return i, fmt.Errorf("qfixd: append statement %d: %w", i+1, err)
+		}
+	}
+	return len(sql), nil
+}
+
+// Complain stages complaints for the tenant's next diagnosis; repeated
+// calls accumulate. Staged complaints survive diagnoses (repeat audits
+// reuse them warm) and clear on Checkpoint, which commits the state
+// they complained about.
+func (s *Service) Complain(name string, complaints []core.Complaint) (int, error) {
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	tn, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	tn.mu.Lock()
+	tn.staged = append(tn.staged, cloneComplaints(complaints)...)
+	n := len(tn.staged)
+	tn.mu.Unlock()
+	return n, nil
+}
+
+// Checkpoint commits the tenant's current state as the new D0 and
+// clears its staged complaints.
+func (s *Service) Checkpoint(name string) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	tn, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := tn.store.Checkpoint(); err != nil {
+		return err
+	}
+	tn.mu.Lock()
+	tn.staged = nil
+	tn.mu.Unlock()
+	return nil
+}
+
+// TenantStats is the stats op's answer for one tenant.
+type TenantStats struct {
+	LogLen int `json:"log_len"`
+	Staged int `json:"staged"`
+}
+
+// Stats reports a tenant's resident state (nil name stats the service:
+// only the tenant count).
+func (s *Service) Stats(name string) (tenants int, ts *TenantStats, err error) {
+	s.mu.Lock()
+	tenants = len(s.tenants)
+	s.mu.Unlock()
+	if name == "" {
+		return tenants, nil, nil
+	}
+	tn, err := s.lookup(name)
+	if err != nil {
+		return tenants, nil, err
+	}
+	tn.mu.Lock()
+	staged := len(tn.staged)
+	tn.mu.Unlock()
+	return tenants, &TenantStats{LogLen: len(tn.store.Log()), Staged: staged}, nil
+}
+
+// Diagnose runs one admission-controlled diagnosis for the tenant over
+// its staged complaints plus the inline ones, on the shared pool (and
+// fleet, when configured). ctx bounds the wait for an inflight slot —
+// cancel it (e.g. when the requesting connection drops) and a queued
+// request leaves the queue; requests beyond the tenant's queue cap
+// fail fast with ErrBusy.
+func (s *Service) Diagnose(ctx context.Context, name string, complaints []core.Complaint,
+	wopt *DiagnoseOptions) (*core.Repair, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	tn, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	tn.mu.Lock()
+	all := append(cloneComplaints(tn.staged), complaints...)
+	tn.mu.Unlock()
+	if len(all) == 0 {
+		return nil, errors.New("qfixd: no complaints (stage some with the complain op or send them inline)")
+	}
+
+	mRequests.Inc()
+	if err := s.adm.acquire(ctx, name); err != nil {
+		if errors.Is(err, ErrBusy) {
+			mBusy.Inc()
+		}
+		return nil, err
+	}
+	defer s.adm.release()
+	// The drain flag is rechecked after the (possibly long) queue wait:
+	// a request admitted after Drain would otherwise extend the drain
+	// indefinitely under sustained load.
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	mInflight.Add(1)
+	defer mInflight.Add(-1)
+
+	opt := wopt.resolve()
+	opt.Scheduler = s.pool
+	if s.coord != nil {
+		opt.PartitionSolver = s.coord.Solver()
+		if opt.Partition == 0 {
+			opt.Partition = len(s.cfg.Workers)
+		}
+	}
+	if opt.Partition == 0 {
+		opt.Partition = s.cfg.Partition
+	}
+	opt.Logf = s.cfg.Logf
+
+	var root *obs.Span
+	if s.cfg.TraceDir != "" {
+		root = obs.NewTrace("qfixd")
+		root.SetAttr("tenant", name)
+		opt.Trace = root
+	}
+
+	start := time.Now() //qfix:det-ok latency metric and log line only; never a decision input
+	rep, err := tn.store.Diagnose(all, opt)
+	elapsed := time.Since(start) //qfix:det-ok latency metric and log line only; never a decision input
+	mDiagnoseSeconds.Observe(elapsed.Seconds())
+	if root != nil {
+		root.End()
+		s.writeTrace(root, name)
+	}
+	if err != nil {
+		s.logf("qfixd: %s: diagnose failed after %v: %v", name, elapsed.Round(time.Millisecond), err)
+		return nil, err
+	}
+	s.logf("qfixd: %s: diagnosed %d complaints in %v: resolved=%v changed=%d",
+		name, len(all), elapsed.Round(time.Millisecond), rep.Resolved, len(rep.Changed))
+	return rep, nil
+}
+
+// writeTrace exports one request's finished span tree, best-effort: a
+// failed trace write must not fail the diagnosis it describes.
+func (s *Service) writeTrace(root *obs.Span, tenant string) {
+	name := fmt.Sprintf("%s-%d.jsonl", tenant, s.traceSeq.Add(1))
+	path := filepath.Join(s.cfg.TraceDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		s.logf("qfixd: trace %s: %v", path, err)
+		return
+	}
+	if err := obs.WriteTrace(f, root, name); err != nil {
+		s.logf("qfixd: trace %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		s.logf("qfixd: trace %s: %v", path, err)
+	}
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func cloneComplaints(cs []core.Complaint) []core.Complaint {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]core.Complaint, len(cs))
+	for i, c := range cs {
+		out[i] = core.Complaint{TupleID: c.TupleID, Exists: c.Exists,
+			Values: append([]float64(nil), c.Values...)}
+	}
+	return out
+}

@@ -95,6 +95,107 @@ func ScheduleOrder[R any](workers, n int, order []int, job func(i int) R) (resul
 	return results, wg.Wait
 }
 
+// Pool is a resident worker pool: a fixed set of long-lived goroutines
+// draining one shared run queue. It exists for resident services
+// (internal/qfixd) that multiplex many concurrent diagnoses onto one
+// process: Schedule/ScheduleOrder spin up a fresh pool per scan, which
+// is right for a one-shot CLI run but makes every diagnosis in a daemon
+// pay goroutine churn and lets concurrent diagnoses oversubscribe the
+// CPU (each scan sizing its own pool as if it were alone). A Pool is
+// created once, shared via core.Options.Scheduler, and bounds the
+// process's total solve concurrency at its worker count while each
+// scan's OnPool call still bounds that scan's share.
+//
+// Close-after-drain contract: Submit after Close panics. Owners stop
+// feeding work (drain their in-flight diagnoses) before closing; the
+// qfixd server's graceful drain is exactly that sequence.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// NewPool starts a resident pool of n workers (n < 1 picks 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{jobs: make(chan func())}
+	for w := 0; w < n; w++ {
+		p.wg.Add(1)
+		mWorkers.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer mWorkers.Add(-1)
+			// Resident workers live until Close closes the queue; jobs
+			// own their cancellation exactly as in ScheduleOrder.
+			//qfix:ctx-ok exits via Close(): closed jobs channel ends the range
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Close stops the pool: no further submissions are accepted and the
+// call blocks until every queued job has run. Callers must have stopped
+// feeding scans first (see the type comment).
+func (p *Pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// OnPool is ScheduleOrder running on a resident pool instead of fresh
+// goroutines: jobs 0..n-1 are fed to p in the given start order, at
+// most `workers` of this batch in flight at once (the batch's share of
+// the pool), each delivering into its own 1-buffered result channel so
+// the consumer adjudicates in submission order — the same determinism
+// contract as ScheduleOrder, which is why the chosen result is
+// independent of which pool worker ran which job or how batches from
+// concurrent scans interleave on the shared queue. (A generic method is
+// not expressible on Pool, hence the package-level function.)
+func OnPool[R any](p *Pool, workers, n int, order []int, job func(i int) R) (results []chan R, wait func()) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	results = make([]chan R, n)
+	for i := range results {
+		results[i] = make(chan R, 1)
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	share := make(chan struct{}, workers)
+	mQueueDepth.Add(int64(n))
+	go func() {
+		// The feeder blocks on the batch's share semaphore, then on the
+		// pool queue; both drain monotonically (every job releases its
+		// share token and every submitted job runs), so feeding cannot
+		// wedge. Jobs own cancellation, as everywhere in this package.
+		feed := func(i int) {
+			share <- struct{}{}
+			p.jobs <- func() {
+				mQueueDepth.Add(-1)
+				results[i] <- job(i)
+				<-share
+				wg.Done()
+			}
+		}
+		if order == nil {
+			for i := 0; i < n; i++ {
+				feed(i)
+			}
+		} else {
+			for _, i := range order {
+				feed(i)
+			}
+		}
+	}()
+	return results, wg.Wait
+}
+
 // Workers starts fn on n goroutines (worker ids 0..n-1) and returns a
 // function that blocks until all of them return. It is the open-ended
 // counterpart to Schedule for pools that pull work from shared state
