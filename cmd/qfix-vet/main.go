@@ -1,16 +1,23 @@
 // Command qfix-vet runs the qfix static-analysis suite (detmap,
-// ctxloop, spanend, detclock — see internal/analysis) over Go packages.
-// It runs two ways:
+// ctxloop, spanend, detclock, lockcheck, goleak, wiredrift — see
+// internal/analysis) over Go packages. It runs two ways:
 //
 //	qfix-vet ./...                     # standalone, like go vet
 //	go vet -vettool=$(which qfix-vet) ./...
 //
 // Standalone mode loads and type-checks packages itself via `go list
 // -export` and exits 1 if any diagnostic survives the //qfix:*-ok
-// directives. Vettool mode speaks the unit-checker protocol the go
-// command drives: respond to -V=full (cache key) and -flags, then
-// analyze single compilation units described by *.cfg files, with
-// imports satisfied from the export-data map the go command hands us.
+// directives; -json switches the report to a machine-readable array
+// (one object per finding) for CI problem matchers. Vettool mode
+// speaks the unit-checker protocol the go command drives: respond to
+// -V=full (cache key) and -flags, then analyze single compilation
+// units described by *.cfg files, with imports satisfied from the
+// export-data map the go command hands us. Cross-package facts ride
+// the driver's .vetx files in vettool mode and a shared in-process
+// store in standalone mode (go list -deps orders dependencies first).
+//
+// qfix-vet -write-wire-lock ./... regenerates the per-package
+// wire.lock goldens the wiredrift analyzer diffs against.
 package main
 
 import (
@@ -34,7 +41,7 @@ func main() {
 		case "-V=full", "--V=full":
 			// The stamp participates in go's action cache: bump it when
 			// analyzer behavior changes so stale clean results die.
-			fmt.Printf("%s version qfix-vet-1.0\n", os.Args[0])
+			fmt.Printf("%s version qfix-vet-2.0\n", os.Args[0])
 			return
 		case "-flags", "--flags":
 			fmt.Println("[]")
@@ -42,9 +49,12 @@ func main() {
 		}
 	}
 	list := flag.Bool("list", false, "list the suite's analyzers and exit")
+	jsonOut := flag.Bool("json", false, "standalone mode: emit findings as a JSON array on stdout")
+	writeWireLock := flag.Bool("write-wire-lock", false, "regenerate wire.lock goldens for matching packages and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qfix-vet [packages]   (standalone; patterns default to ./...)\n")
-		fmt.Fprintf(os.Stderr, "       qfix-vet unit.cfg     (as go vet -vettool)\n\n")
+		fmt.Fprintf(os.Stderr, "usage: qfix-vet [-json] [packages]        (standalone; patterns default to ./...)\n")
+		fmt.Fprintf(os.Stderr, "       qfix-vet -write-wire-lock [packages]\n")
+		fmt.Fprintf(os.Stderr, "       qfix-vet unit.cfg                  (as go vet -vettool)\n\n")
 		fmt.Fprintf(os.Stderr, "Analyzers:\n")
 		for _, a := range analysis.Suite() {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
@@ -59,39 +69,81 @@ func main() {
 		return
 	}
 	args := flag.Args()
+	if *writeWireLock {
+		os.Exit(writeWireLocks(args))
+	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitCheck(args[0]))
 	}
-	os.Exit(standalone(args))
+	os.Exit(standalone(args, *jsonOut))
 }
 
-// standalone loads the packages matching the patterns and prints every
-// surviving diagnostic, one per line, go-vet style.
-func standalone(patterns []string) int {
+// loadPatterns lists and type-checks the module packages matching the
+// patterns (default ./...) from the current directory.
+func loadPatterns(patterns []string) (string, []*analysis.Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	dir, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
-		return 2
+		return "", nil, err
 	}
 	loader := analysis.NewLoader(dir)
 	pkgs, err := loader.Load(patterns...)
+	return dir, pkgs, err
+}
+
+// jsonFinding is one -json mode record; stable field names are part of
+// the CI problem-matcher contract.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// standalone loads the packages matching the patterns and prints every
+// surviving diagnostic — one per line go-vet style, or as a JSON array.
+func standalone(patterns []string, jsonOut bool) int {
+	dir, pkgs, err := loadPatterns(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
 		return 2
 	}
+	// One fact store across the whole load: go list -deps guarantees
+	// dependencies precede dependents, so facts are ready when consumed.
+	facts := analysis.NewFactStore()
+	findings := []jsonFinding{}
 	failed := false
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analysis.Suite())
+		diags, err := analysis.Run(pkg, analysis.Suite(), facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qfix-vet:", err)
 			return 2
 		}
 		for _, d := range diags {
 			failed = true
-			fmt.Println(relativize(dir, d))
+			d = relativize(dir, d)
+			if jsonOut {
+				findings = append(findings, jsonFinding{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+			} else {
+				fmt.Println(d.String())
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+			return 2
 		}
 	}
 	if failed {
@@ -100,11 +152,35 @@ func standalone(patterns []string) int {
 	return 0
 }
 
-func relativize(dir string, d analysis.Diagnostic) string {
+// writeWireLocks regenerates the wire.lock golden of every matching
+// package that has wire message structs.
+func writeWireLocks(patterns []string) int {
+	_, pkgs, err := loadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		if !analysis.WireDrift.AppliesTo(pkg.Path) {
+			continue
+		}
+		path, err := analysis.WriteWireLock(pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+			return 2
+		}
+		if path != "" {
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return 0
+}
+
+func relativize(dir string, d analysis.Diagnostic) analysis.Diagnostic {
 	if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 		d.Pos.Filename = rel
 	}
-	return d.String()
+	return d
 }
 
 // vetConfig mirrors the fields of the JSON unit-checker config the go
@@ -116,14 +192,25 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
+// modulePath is the import-path prefix of this module's own packages —
+// the only units worth a facts pass when the driver asks VetxOnly.
+const modulePath = "repro"
+
+func inModule(importPath string) bool {
+	return importPath == modulePath || strings.HasPrefix(importPath, modulePath+"/")
+}
+
 // unitCheck analyzes one compilation unit under the go vet driver.
 // Diagnostics go to stderr; exit status 2 signals findings, matching
-// the x/tools unitchecker convention.
+// the x/tools unitchecker convention. Facts flow through the driver's
+// .vetx files: dependencies' facts arrive in PackageVetx, this unit's
+// exports leave through VetxOutput.
 func unitCheck(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -135,15 +222,38 @@ func unitCheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "qfix-vet: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// The driver expects a facts file for downstream units whether or
-	// not we have facts to share (we don't — the suite is local).
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// Hydrate dependency facts from the .vetx files earlier units wrote.
+	facts := analysis.NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // factless dependency (e.g. std): nothing to load
+		}
+		fs, err := analysis.DecodeFacts(payload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qfix-vet: decoding facts for %s: %v\n", path, err)
+			return 2
+		}
+		facts.Add(path, fs)
+	}
+	// emitVetx writes this unit's exported facts (possibly none) where
+	// the driver expects them; downstream units read the file back.
+	emitVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		payload, err := analysis.EncodeFacts(facts.Package(cfg.ImportPath))
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "qfix-vet:", err)
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
+		if payload == nil {
+			payload = []byte{}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "qfix-vet:", err)
+			return 2
+		}
 		return 0
 	}
 	// Keep vettool findings aligned with standalone mode: analyze only
@@ -154,9 +264,34 @@ func unitCheck(cfgPath string) int {
 			files = append(files, f)
 		}
 	}
-	if len(files) == 0 {
-		return 0
+	// Fact-only dependency units: module packages still run the suite so
+	// their exports reach dependents (diagnostics are the dependent's
+	// business only in its own unit, so they are discarded here); std and
+	// external units are factless.
+	if cfg.VetxOnly {
+		if inModule(cfg.ImportPath) && len(files) > 0 {
+			if code := analyzeUnit(&cfg, files, facts, true); code != 0 {
+				return code
+			}
+		}
+		return emitVetx()
 	}
+	if len(files) == 0 {
+		return emitVetx()
+	}
+	// Findings exit 2, but the vetx file is written regardless so
+	// dependent units still see this package's facts.
+	code := analyzeUnit(&cfg, files, facts, false)
+	if ec := emitVetx(); ec != 0 {
+		return ec
+	}
+	return code
+}
+
+// analyzeUnit type-checks and runs the suite over one unit, reporting
+// diagnostics to stderr unless factsOnly. Exit code semantics match
+// unitCheck; 0 means continue.
+func analyzeUnit(cfg *vetConfig, files []string, facts *analysis.FactStore, factsOnly bool) int {
 	loader := analysis.NewLoader(cfg.Dir)
 	loader.SetExports(cfg.ImportMap, cfg.PackageFile)
 	pkg, err := loader.Check(cfg.ImportPath, cfg.Dir, files)
@@ -167,12 +302,12 @@ func unitCheck(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
 		return 2
 	}
-	diags, err := analysis.Run(pkg, analysis.Suite())
+	diags, err := analysis.Run(pkg, analysis.Suite(), facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qfix-vet:", err)
 		return 2
 	}
-	if len(diags) == 0 {
+	if factsOnly || len(diags) == 0 {
 		return 0
 	}
 	w := io.Writer(os.Stderr)

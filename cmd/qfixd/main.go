@@ -42,27 +42,31 @@ func main() {
 		addr  = flag.String("addr", ":7460", "TCP address to serve the daemon protocol on")
 		admin = flag.String("admin", "",
 			"serve admin telemetry on this HTTP address (/metrics Prometheus text, /debug/vars JSON, /debug/pprof/*); empty disables")
-		dir     = flag.String("dir", ".", "root data directory; each tenant's history store is a subdirectory")
-		inflt   = flag.Int("max-inflight", 0, "concurrent diagnoses across all tenants (0 = GOMAXPROCS, <0 = one at a time)")
-		tq      = flag.Int("tenant-queue", 0, "per-tenant cap on queued diagnoses; beyond it requests get a busy error (0 = default, <0 = no queueing)")
-		workers = flag.String("workers", "", "comma-separated qfix-worker addresses for a shared diagnosis fleet")
-		mux     = flag.Bool("mux", false, "multiplex fleet jobs over persistent connections (wire v3)")
-		part    = flag.Int("partition", 0, "default partition width for diagnoses that do not request one")
-		pool    = flag.Int("pool", 0, "resident scheduler pool size shared by all diagnoses (0 = GOMAXPROCS)")
-		traces  = flag.String("trace-dir", "", "write one span-tree trace per diagnosis into this directory; empty disables")
-		drain   = flag.Duration("drain-timeout", time.Minute, "how long a graceful shutdown waits for in-flight diagnoses")
-		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
+		dir       = flag.String("dir", ".", "root data directory; each tenant's history store is a subdirectory")
+		inflt     = flag.Int("max-inflight", 0, "concurrent diagnoses across all tenants (0 = GOMAXPROCS, <0 = one at a time)")
+		tq        = flag.Int("tenant-queue", 0, "per-tenant cap on queued diagnoses; beyond it requests get a busy error (0 = default, <0 = no queueing)")
+		workers   = flag.String("workers", "", "comma-separated qfix-worker addresses for a shared diagnosis fleet")
+		mux       = flag.Bool("mux", false, "multiplex fleet jobs over persistent connections (wire v3)")
+		part      = flag.Int("partition", 0, "default partition width for diagnoses that do not request one")
+		pool      = flag.Int("pool", 0, "resident scheduler pool size shared by all diagnoses (0 = GOMAXPROCS)")
+		maxStores = flag.Int("max-stores", 0, "resident tenant stores before LRU eviction of idle ones (0 = default, <0 = unlimited)")
+		storeIdle = flag.Duration("store-idle", 0, "close tenant stores unused this long (0 = default, <0 = never)")
+		traces    = flag.String("trace-dir", "", "write one span-tree trace per diagnosis into this directory; empty disables")
+		drain     = flag.Duration("drain-timeout", time.Minute, "how long a graceful shutdown waits for in-flight diagnoses")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
 
 	cfg := qfixd.Config{
-		Dir:         *dir,
-		MaxInflight: *inflt,
-		TenantQueue: *tq,
-		Mux:         *mux,
-		Partition:   *part,
-		PoolWorkers: *pool,
-		TraceDir:    *traces,
+		Dir:           *dir,
+		MaxInflight:   *inflt,
+		TenantQueue:   *tq,
+		Mux:           *mux,
+		Partition:     *part,
+		PoolWorkers:   *pool,
+		MaxOpenStores: *maxStores,
+		StoreIdle:     *storeIdle,
+		TraceDir:      *traces,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

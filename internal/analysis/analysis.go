@@ -1,26 +1,35 @@
 // Package analysis is qfix's static-analysis suite: a small, stdlib-only
 // clone of the golang.org/x/tools/go/analysis model (Analyzer, Pass,
-// Diagnostic) plus the four domain analyzers that mechanically enforce
+// Diagnostic) plus the seven domain analyzers that mechanically enforce
 // the invariants the engine's guarantees rest on — deterministic map
-// handling (detmap), context-aware blocking loops (ctxloop), balanced
-// obs spans (spanend), and no wall-clock or randomness in deterministic
-// solver paths (detclock). The x/tools module itself is deliberately
-// not a dependency: the repo builds offline, so the framework here
-// mirrors the upstream API shape on top of go/ast + go/types only, and
-// cmd/qfix-vet speaks enough of the vet tool protocol to run either
-// standalone or as `go vet -vettool`.
+// handling (detmap, interprocedural via exported facts), context-aware
+// blocking loops (ctxloop), balanced obs spans (spanend), no wall-clock
+// or randomness in deterministic solver paths (detclock), mutex
+// contracts on annotated struct fields (lockcheck), provable goroutine
+// termination in the resident daemon's packages (goleak), and wire
+// protocol schema stability against committed goldens (wiredrift). The
+// x/tools module itself is deliberately not a dependency: the repo
+// builds offline, so the framework here mirrors the upstream API shape
+// on top of go/ast + go/types only, and cmd/qfix-vet speaks enough of
+// the vet tool protocol to run either standalone or as `go vet
+// -vettool`.
 //
 // Findings are suppressed site-by-site with comment directives:
 //
 //	//qfix:det-ok <reason>   (detmap, detclock)
 //	//qfix:ctx-ok <reason>   (ctxloop)
 //	//qfix:span-ok <reason>  (spanend)
+//	//qfix:lock-ok <reason>  (lockcheck)
+//	//qfix:leak-ok <reason>  (goleak)
+//	//qfix:wire-ok <reason>  (wiredrift)
 //
 // A directive suppresses diagnostics on its own line or the line
 // directly below it (so it can ride at end-of-line or as a standalone
 // comment above the site). Directives that suppress nothing are
 // themselves reported — a stale allowlist is exactly the kind of silent
-// rot this suite exists to prevent.
+// rot this suite exists to prevent. One directive is not a suppression:
+// //qfix:guarded-by <mutex> on a struct field declares the lockcheck
+// contract for that field.
 package analysis
 
 import (
@@ -57,13 +66,19 @@ type Analyzer struct {
 // given import path. Test-variant paths like "p [p.test]" are matched
 // by their base package.
 func (a *Analyzer) AppliesTo(path string) bool {
+	return pathInScope(path, a.Packages)
+}
+
+// pathInScope is the suffix-match scope rule shared by AppliesTo and
+// analyzers with internally narrower sub-scopes (detmap's range check).
+func pathInScope(path string, suffixes []string) bool {
 	if i := strings.Index(path, " ["); i >= 0 {
 		path = path[:i]
 	}
-	if len(a.Packages) == 0 {
+	if len(suffixes) == 0 {
 		return true
 	}
-	for _, suf := range a.Packages {
+	for _, suf := range suffixes {
 		if path == suf || strings.HasSuffix(path, "/"+suf) {
 			return true
 		}
@@ -76,10 +91,33 @@ type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
+	Dir       string // package source directory (for per-package goldens)
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
 	suite *suiteState // shared directive index + diagnostic sink
+	facts *FactStore  // dependency facts in, this package's facts out
+}
+
+// ImportedFacts returns the fact set exported by the package at the
+// given import path (empty when the dependency exported none or was not
+// analyzed).
+func (p *Pass) ImportedFacts(path string) *FactSet {
+	return p.facts.Package(path)
+}
+
+// ExportOrderFact records that the named function's result depends on
+// map iteration order, for consumption at call sites in dependent
+// packages.
+func (p *Pass) ExportOrderFact(fn, note string) {
+	if p.facts == nil {
+		return
+	}
+	fs := p.facts.exporting(p.Pkg.Path())
+	if fs.OrderDependent == nil {
+		fs.OrderDependent = map[string]string{}
+	}
+	fs.OrderDependent[fn] = note
 }
 
 // Reportf records a finding at pos unless a matching directive
@@ -94,6 +132,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// SuppressedAt reports whether a directive for this analyzer covers
+// pos, without consuming it: a site the author has reasoned about
+// should not keep leaking derived facts to other packages.
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	return p.suite.covered(p.Analyzer.Directive, p.Fset.Position(pos))
 }
 
 // A Diagnostic is one reported finding, positioned and attributed.
@@ -145,11 +190,27 @@ func (s *suiteState) suppress(name string, pos token.Position) bool {
 	return ok
 }
 
+// covered is suppress without consuming: analyzers use it to keep
+// derived state (exported facts) consistent with a suppressed finding.
+func (s *suiteState) covered(name string, pos token.Position) bool {
+	for _, d := range s.directives {
+		if d.name != name || d.pos.Filename != pos.Filename {
+			continue
+		}
+		if d.pos.Line == pos.Line || d.pos.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
 // Run executes every applicable analyzer from the suite over pkg and
 // returns the surviving diagnostics (including unused-directive
 // findings), sorted by position. Directives are shared across the
 // analyzers of one package so a single site needs a single annotation.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// facts carries dependency fact sets in and receives this package's
+// exports under its import path; nil disables fact propagation.
+func Run(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	st := &suiteState{eligible: map[string]bool{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -174,9 +235,11 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
+			Dir:       pkg.Dir,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			suite:     st,
+			facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -209,5 +272,5 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // Suite returns the full qfix-vet analyzer set in a fixed order.
 func Suite() []*Analyzer {
-	return []*Analyzer{DetMap, CtxLoop, SpanEnd, DetClock}
+	return []*Analyzer{DetMap, CtxLoop, SpanEnd, DetClock, LockCheck, GoLeak, WireDrift}
 }

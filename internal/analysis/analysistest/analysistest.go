@@ -50,15 +50,43 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, importPath string) {
 // qfix-vet binary drives them.
 func RunSuite(t *testing.T, dir string, analyzers []*analysis.Analyzer, importPath string) {
 	t.Helper()
+	RunDirs(t, analyzers, Dir{Path: dir, ImportPath: importPath})
+}
+
+// A Dir names one fixture directory and the import path to check it
+// under.
+type Dir struct {
+	Path       string
+	ImportPath string
+}
+
+// RunDirs analyzes several fixture directories in order through one
+// shared loader and fact store — the multi-package analogue of
+// RunSuite, for fixtures that exercise cross-package facts. Earlier
+// directories play the dependency role (their checked types and
+// exported facts are visible to later ones), and every directory's
+// want expectations are checked.
+func RunDirs(t *testing.T, analyzers []*analysis.Analyzer, dirs ...Dir) {
+	t.Helper()
 	loader := analysis.NewLoader(".")
-	pkg, err := loader.LoadDir(dir, importPath)
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+	facts := analysis.NewFactStore()
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d.Path, d.ImportPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", d.Path, err)
+		}
+		diags, err := analysis.Run(pkg, analyzers, facts)
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", d.Path, err)
+		}
+		checkExpectations(t, pkg, diags)
 	}
-	diags, err := analysis.Run(pkg, analyzers)
-	if err != nil {
-		t.Fatalf("running suite on %s: %v", dir, err)
-	}
+}
+
+// checkExpectations matches diagnostics against the fixture's want
+// comments in both directions.
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
 	expects := collectWants(t, pkg)
 	for _, d := range diags {
 		matched := false

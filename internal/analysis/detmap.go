@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 )
 
 // DetMap flags `range` statements over maps in the packages whose
@@ -22,32 +24,60 @@ import (
 //
 // Anything else needs an explicit //qfix:det-ok directive carrying the
 // reason the order cannot reach observable output.
+//
+// The analyzer is also interprocedural across packages: a function
+// whose return value was written under an unsafe (unsuppressed) map
+// range exports an order-dependent fact, and call sites in *other*
+// packages — anywhere detmap runs, which includes the daemon-era
+// consumers dist, qfixd, and histstore — are flagged unless the result
+// is sorted (or discarded) before use. That closes the
+// encode→core→dist boundary the intra-package pass is blind to.
 var DetMap = &Analyzer{
 	Name: "detmap",
 	Doc: "flag map iteration whose nondeterministic order can reach solver decisions or output; " +
-		"safe shapes: collect-then-sort, integer accumulation, keyed map writes/deletes",
+		"safe shapes: collect-then-sort, integer accumulation, keyed map writes/deletes; " +
+		"exports order-dependent-result facts and flags unsorted cross-package uses",
 	Directive: "det-ok",
 	Packages: []string{
 		"internal/simplex", "internal/milp", "internal/encode",
 		"internal/core", "internal/bench",
+		// Fact-consumption-only scope: the range check stays restricted
+		// to the solver packages above (detmapRangePackages).
+		"internal/dist", "internal/qfixd", "internal/histstore",
 	},
 	Run: runDetMap,
 }
 
+// detmapRangePackages scopes the map-range shape check itself: the
+// packages whose outputs are pinned byte-identical. The wider
+// Analyzer.Packages list adds the packages that only consume facts.
+var detmapRangePackages = []string{
+	"internal/simplex", "internal/milp", "internal/encode",
+	"internal/core", "internal/bench",
+}
+
 func runDetMap(pass *Pass) error {
+	rangeScope := pathInScope(pass.Pkg.Path(), detmapRangePackages)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			var body *ast.BlockStmt
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
-				body = fn.Body
+				if fn.Body == nil {
+					return true
+				}
+				if rangeScope {
+					tainted := detmapFunc(pass, fn.Body)
+					exportOrderFacts(pass, fn, tainted)
+				}
+				scanFactCalls(pass, fn.Body)
 			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
-			}
-			if body != nil {
-				detmapFunc(pass, body)
+				if fn.Body == nil {
+					return true
+				}
+				if rangeScope {
+					detmapFunc(pass, fn.Body)
+				}
+				scanFactCalls(pass, fn.Body)
 			}
 			return true
 		})
@@ -56,8 +86,12 @@ func runDetMap(pass *Pass) error {
 }
 
 // detmapFunc checks the map ranges directly inside one function body,
-// leaving nested function literals to their own visit.
-func detmapFunc(pass *Pass, body *ast.BlockStmt) {
+// leaving nested function literals to their own visit. It returns the
+// loop-carried objects whose contents depend on iteration order after
+// an unsafe, unsuppressed range (append targets that are sorted later
+// are excluded — sorting launders the order away).
+func detmapFunc(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
 	var walk func(n ast.Node) bool
 	walk = func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -71,15 +105,153 @@ func detmapFunc(pass *Pass, body *ast.BlockStmt) {
 			if _, ok := t.Underlying().(*types.Map); !ok {
 				return true
 			}
-			if !safeMapRange(pass, n, body) {
-				pass.Reportf(n.For,
-					"range over map %s: iteration order is nondeterministic; collect and sort keys, or annotate //qfix:det-ok with why order cannot reach output",
-					typeLabel(t))
+			safe, c := safeMapRange(pass, n, body)
+			if safe {
+				return true
+			}
+			pass.Reportf(n.For,
+				"range over map %s: iteration order is nondeterministic; collect and sort keys, or annotate //qfix:det-ok with why order cannot reach output",
+				typeLabel(t))
+			// A reasoned directive on the range also vouches for the
+			// data it produced: don't export facts for suppressed sites.
+			if pass.SuppressedAt(n.For) {
+				return true
+			}
+			for obj := range c.written {
+				if c.appendTargets[obj] && sortedAfter(pass, body, obj, n.End()) {
+					continue
+				}
+				tainted[obj] = true
 			}
 		}
 		return true
 	}
 	ast.Inspect(body, walk)
+	return tainted
+}
+
+// exportOrderFacts exports an order-dependent fact for fn when any
+// tainted object reaches a return statement.
+func exportOrderFacts(pass *Pass, fn *ast.FuncDecl, tainted map[types.Object]bool) {
+	if len(tainted) == 0 {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	leaks := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if leaks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				ast.Inspect(r, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if o := pass.TypesInfo.Uses[id]; o != nil && tainted[o] {
+							leaks = true
+						}
+					}
+					return !leaks
+				})
+			}
+		}
+		return true
+	})
+	if leaks {
+		pos := pass.Fset.Position(fn.Pos())
+		pass.ExportOrderFact(funcKey(obj),
+			fmt.Sprintf("returns data written under an unsorted map range (%s:%d)",
+				filepath.Base(pos.Filename), pos.Line))
+	}
+}
+
+// funcKey names a function for the facts file: "Name" for package
+// functions, "Recv.Name" for methods.
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// scanFactCalls flags call sites of functions another package exported
+// order-dependent facts for, unless the result is discarded, sorted
+// directly, or assigned and sorted later in the same function.
+func scanFactCalls(pass *Pass, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, note := factCallee(pass, call); fn != nil {
+				var parent ast.Node
+				if len(stack) > 0 {
+					parent = stack[len(stack)-1]
+				}
+				checkFactCall(pass, body, call, fn, note, parent)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// factCallee resolves a call to a cross-package function carrying an
+// order-dependent fact.
+func factCallee(pass *Pass, call *ast.CallExpr) (*types.Func, string) {
+	var obj types.Object
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return nil, ""
+	}
+	note, ok := pass.ImportedFacts(fn.Pkg().Path()).OrderDependent[funcKey(fn)]
+	if !ok {
+		return nil, ""
+	}
+	return fn, note
+}
+
+func checkFactCall(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr, fn *types.Func, note string, parent ast.Node) {
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		return // result discarded: order cannot reach output
+	case *ast.AssignStmt:
+		if len(p.Rhs) == 1 && p.Rhs[0] == ast.Expr(call) && len(p.Lhs) == 1 {
+			if obj := identObj(pass, p.Lhs[0]); obj != nil && sortedAfter(pass, body, obj, call.End()) {
+				return
+			}
+		}
+	case *ast.CallExpr:
+		if isSortCall(pass, p) && len(p.Args) > 0 && p.Args[0] == ast.Expr(call) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"result of %s.%s is map-iteration-order dependent (%s); sort it before it reaches ordered output, or annotate //qfix:det-ok with why order cannot matter here",
+		fn.Pkg().Name(), funcKey(fn), note)
 }
 
 func typeLabel(t types.Type) string {
@@ -91,8 +263,9 @@ func typeLabel(t types.Type) string {
 // the enclosing function. The shape rules are sound against the classic
 // hole — feeding one iteration's mutation into another's — because a
 // shape may only read loop-carried state the body never writes (the
-// rangeCheck tracks both sets).
-func safeMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+// rangeCheck tracks both sets, and returns them so an unsafe range's
+// writes can be tainted for fact export).
+func safeMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) (bool, *rangeCheck) {
 	c := &rangeCheck{
 		pass:          pass,
 		body:          rs.Body,
@@ -104,15 +277,15 @@ func safeMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
 	c.collectWrites(rs.Body)
 	for _, st := range rs.Body.List {
 		if !c.safeStmt(st) {
-			return false
+			return false, c
 		}
 	}
 	for obj := range c.appendTargets {
 		if !sortedAfter(pass, funcBody, obj, rs.End()) {
-			return false
+			return false, c
 		}
 	}
-	return true
+	return true, c
 }
 
 func identObj(pass *Pass, e ast.Expr) types.Object {
@@ -375,6 +548,25 @@ func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
 	return isBuiltin
 }
 
+// isSortCall reports whether call invokes anything from package sort or
+// slices — the order-laundering calls the shape rules recognize.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pkgName.Imported().Path()
+	return path == "sort" || path == "slices"
+}
+
 // sortedAfter reports whether obj (a slice) is passed to a sort.* or
 // slices.Sort* call positioned after pos in the function body.
 func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
@@ -387,20 +579,7 @@ func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, obj types.Object, pos toke
 		if !ok || call.Pos() < pos || len(call.Args) == 0 {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
-		if !ok {
-			return true
-		}
-		path := pkgName.Imported().Path()
-		if path != "sort" && path != "slices" {
+		if !isSortCall(pass, call) {
 			return true
 		}
 		if identObj(pass, call.Args[0]) == obj {

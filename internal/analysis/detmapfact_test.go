@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDetMapFacts drives the interprocedural half of detmap: the src
+// fixture (checked as a range-scoped encode package) exports
+// order-dependence facts for functions returning map-range output, and
+// the use fixture (checked as the fact-consuming dist package, which
+// imports src by its scoped path) is flagged exactly where those
+// results flow onward unsorted.
+func TestDetMapFacts(t *testing.T) {
+	analysistest.RunDirs(t, []*analysis.Analyzer{analysis.DetMap},
+		analysistest.Dir{Path: "testdata/detmapfact/src", ImportPath: "repro/internal/encode"},
+		analysistest.Dir{Path: "testdata/detmapfact/use", ImportPath: "repro/internal/dist"},
+	)
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata/goleak", analysis.GoLeak, "repro/internal/qfixd")
+}
+
+// TestGoLeakScope pins the package filter: short-lived CLI packages may
+// launch fire-and-forget goroutines without a termination proof.
+func TestGoLeakScope(t *testing.T) {
+	pkg, err := analysis.NewLoader(".").LoadDir("testdata/goleak", "repro/internal/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{analysis.GoLeak}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("out-of-scope package produced diagnostic: %s", d.String())
+	}
+}

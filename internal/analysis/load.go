@@ -42,11 +42,22 @@ type Loader struct {
 	// importMap canonicalizes source-level import paths first (the go
 	// vet driver supplies one per compilation unit).
 	importMap map[string]string
+	// checked caches packages this loader already type-checked from
+	// source, keyed by import path. Imports resolve here before falling
+	// back to export data, which both keeps one loader's view of a
+	// package consistent and lets analysistest fixtures import each
+	// other under scoped import paths (the cross-package fact tests).
+	checked map[string]*types.Package
 }
 
 // NewLoader returns a loader resolving package patterns relative to dir.
 func NewLoader(dir string) *Loader {
-	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l := &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		checked: map[string]*types.Package{},
+	}
 	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
 		if canon, ok := l.importMap[path]; ok {
 			path = canon
@@ -58,6 +69,20 @@ func NewLoader(dir string) *Loader {
 		return os.Open(f)
 	})
 	return l
+}
+
+// Import satisfies types.Importer: source-checked packages first, then
+// the gc export data harvested from go list. The loader itself is the
+// types.Config importer, so every Check in its lifetime shares one view.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	canon := path
+	if c, ok := l.importMap[path]; ok {
+		canon = c
+	}
+	if pkg, ok := l.checked[canon]; ok {
+		return pkg, nil
+	}
+	return l.imp.Import(path)
 }
 
 // SetExports installs an externally supplied import resolution — the go
@@ -208,13 +233,14 @@ func (l *Loader) check(importPath, dir string, files []string, asts []*ast.File)
 	}
 	var errs []error
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Error:    func(err error) { errs = append(errs, err) },
 	}
 	tpkg, err := conf.Check(importPath, l.fset, asts, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, errors.Join(errs...))
 	}
+	l.checked[importPath] = tpkg
 	return &Package{
 		Path:  importPath,
 		Dir:   dir,

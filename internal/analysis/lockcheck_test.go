@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/lockcheck", analysis.LockCheck, "repro/internal/histstore")
+}
+
+// TestLockCheckScope pins the package filter: the same unguarded
+// accesses stay silent outside the concurrency-heavy scope (and with
+// the analyzer skipped, its directives are not "unused" either).
+func TestLockCheckScope(t *testing.T) {
+	pkg, err := analysis.NewLoader(".").LoadDir("testdata/lockcheck", "repro/internal/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{analysis.LockCheck}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("out-of-scope package produced diagnostic: %s", d.String())
+	}
+}

@@ -1,0 +1,50 @@
+// Fact-exporting half of the interprocedural detmap fixture. Loaded
+// under a range-scoped import path: unsorted map ranges are flagged
+// here, and functions returning data written under one export an
+// order-dependent fact for consumer packages. Named encode (not the
+// usual fixture) so the consumer fixture's import binds that name.
+package encode
+
+import "sort"
+
+// Leaky returns keys collected under an unsorted map range: flagged
+// here and exported as an order-dependent fact.
+func Leaky(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Clean sorts before returning: no flag, no fact.
+func Clean(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Vouched carries a reasoned directive: suppressed here, and the
+// suppression also withholds the fact so callers stay quiet.
+func Vouched(m map[string]int) []string {
+	var keys []string
+	//qfix:det-ok fixture: callers use the result as an unordered set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+type Enc struct{}
+
+// Leak is the method variant: its fact is keyed "Enc.Leak".
+func (Enc) Leak(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "range over map"
+		out = append(out, k)
+	}
+	return out
+}

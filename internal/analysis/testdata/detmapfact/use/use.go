@@ -1,0 +1,57 @@
+// Consumer half of the interprocedural detmap fixture. Loaded under a
+// fact-consuming (not range-scoped) import path: local map ranges are
+// not checked here, but calls to fact-carrying functions from the src
+// fixture are flagged unless the result is sorted or discarded.
+package fixture
+
+import (
+	"sort"
+
+	"repro/internal/encode"
+)
+
+// unsortedUse lets an order-dependent result flow onward: flagged.
+func unsortedUse(m map[string]int) string {
+	keys := encode.Leaky(m) // want "map-iteration-order dependent"
+	return keys[0]
+}
+
+// sortedUse sorts the result in the following statement.
+func sortedUse(m map[string]int) string {
+	keys := encode.Leaky(m)
+	sort.Strings(keys)
+	return keys[0]
+}
+
+// inlineSorted feeds the result straight into a sort call.
+func inlineSorted(m map[string]int) {
+	sort.Strings(encode.Leaky(m))
+}
+
+// discarded never uses the result.
+func discarded(m map[string]int) {
+	encode.Leaky(m)
+}
+
+// cleanUse calls a function with no fact.
+func cleanUse(m map[string]int) []string {
+	return encode.Clean(m)
+}
+
+// vouchedUse: the callee's directive withheld the fact, so this call
+// site needs no annotation of its own.
+func vouchedUse(m map[string]int) []string {
+	return encode.Vouched(m)
+}
+
+// methodUse resolves the method fact key across the package boundary.
+func methodUse(m map[int]int) []int {
+	var e encode.Enc
+	return e.Leak(m) // want "map-iteration-order dependent"
+}
+
+// suppressedUse carries its own reasoning at the consumption site.
+func suppressedUse(m map[string]int) []string {
+	//qfix:det-ok fixture: result feeds an unordered membership set
+	return encode.Leaky(m)
+}

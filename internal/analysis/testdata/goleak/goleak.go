@@ -1,0 +1,102 @@
+// Fixture for the goleak analyzer: goroutines with a provable
+// termination path (silent) next to the leaks. Loaded under a
+// long-lived daemon import path so the scope filter admits the
+// analyzer.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// leakyLoop: unconditional loop, no ctx, no join, no close-owned range.
+func leakyLoop(ch chan int) {
+	go func() { // want "no provable termination path: an unconditional loop"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// condBlocking: the loop is conditional but blocks on channel receives.
+func condBlocking(ch chan int, stop *bool) {
+	go func() { // want "no provable termination path: a loop blocking on channel operations"
+		for !*stop {
+			<-ch
+		}
+	}()
+}
+
+// ctxLoop: a context at the body's own level is the exit path.
+func ctxLoop(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// wgLoop: a WaitGroup.Done participates in a join the closer waits on.
+func wgLoop(wg *sync.WaitGroup, ch chan int) {
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := <-ch; !ok {
+				return
+			}
+		}
+	}()
+}
+
+// closeOwned: range over a channel ends when the owner closes it.
+func closeOwned(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// bounded: no suspect loop at all.
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+type pump struct{ ch chan int }
+
+func (p *pump) run() {
+	for {
+		<-p.ch
+	}
+}
+
+// start: named callees resolve to their declared bodies.
+func (p *pump) start() {
+	go p.run() // want "no provable termination path: an unconditional loop"
+}
+
+// suppressed: the lifecycle story rides a directive.
+func suppressed(ch chan int) {
+	//qfix:leak-ok reader exits when the conn owner closes ch
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}
+
+// fine terminates on its own, so the stale directive is reported.
+func fine(ch chan int) {
+	//qfix:leak-ok stale story // want "unused //qfix:leak-ok directive"
+	go func() {
+		for range ch {
+		}
+	}()
+}

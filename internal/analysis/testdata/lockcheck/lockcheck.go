@@ -1,0 +1,118 @@
+// Fixture for the lockcheck analyzer: accesses to //qfix:guarded-by
+// annotated fields with the named mutex held (silent) next to the
+// violations the dominance walk must catch. Loaded under an in-scope
+// import path.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //qfix:guarded-by mu
+}
+
+// good holds the lock across the write.
+func (c *counter) good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// deferred: defer mu.Unlock() holds the lock to function exit.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bad() int {
+	return c.n // want "read c.n without holding mu"
+}
+
+func (c *counter) badWrite() {
+	c.n = 1 // want "write to c.n without holding mu"
+}
+
+// unlockEnds: the hold stops at Unlock, later accesses are bare.
+func (c *counter) unlockEnds() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want "write to c.n without holding mu"
+}
+
+// joined: a lock taken on only one branch is not held after the join.
+func (c *counter) joined(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "write to c.n without holding mu"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// closure: function literals are analyzed lock-free — they may run on
+// another goroutine or after the caller unlocked.
+func (c *counter) closure() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want "write to c.n without holding mu"
+	}
+}
+
+// newCounter: construction-time writes before publication carry the
+// reasoning as a directive.
+func newCounter() *counter {
+	c := &counter{}
+	//qfix:lock-ok c is unpublished until return
+	c.n = 1
+	return c
+}
+
+// fine is properly locked, so the stale directive itself is reported.
+func (c *counter) fine() {
+	c.mu.Lock()
+	//qfix:lock-ok stale reason // want "unused //qfix:lock-ok directive"
+	c.n = 2
+	c.mu.Unlock()
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows []int //qfix:guarded-by mu
+}
+
+// readShared: RLock suffices for reads of an RWMutex-guarded field.
+func (t *table) readShared() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// writeShared: writes always need the exclusive lock.
+func (t *table) writeShared() {
+	t.mu.RLock()
+	t.rows = nil // want "write to t.rows without holding mu"
+	t.mu.RUnlock()
+}
+
+// clearLocked: methods named *Locked are assumed entered with every
+// annotated mutex of their receiver held.
+func (t *table) clearLocked() {
+	t.rows = t.rows[:0]
+}
+
+func getTable() *table { return nil }
+
+// unresolvable receivers (call results) cannot carry a lock identity.
+func unresolvable() int {
+	return len(getTable().rows) // want "cannot prove"
+}
+
+// orphan's annotation names a field that is not a sync mutex.
+type orphan struct {
+	lock string
+	data int //qfix:guarded-by lock // want "no sync.Mutex or sync.RWMutex field named"
+}

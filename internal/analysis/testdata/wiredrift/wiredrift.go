@@ -1,0 +1,30 @@
+// Fixture for the wiredrift analyzer, paired with a wire.lock golden
+// that is deliberately out of sync with these structs. Struct removals
+// anchor on the package's first wire struct (Aaa); field drift anchors
+// on the struct or field that drifted.
+package fixture
+
+// Aaa matches its lock entry; it only hosts the removed-struct report.
+type Aaa struct { // want "wire struct Gone was removed"
+	A int `json:"a"`
+}
+
+// Drift concentrates the field-level breaks.
+type Drift struct { // want "removed or renamed"
+	Renamed string `json:"renamed,omitempty"` // the rename's addition half: omitempty, so it passes
+	Count   int64  `json:"count"`             // want "changed type int -> int64"
+	Flag    bool   `json:"flag"`              // want "changed omitempty -> always-present"
+	Extra   string `json:"extra"`             // want "must be omitempty"
+	Keep    string `json:"keep"`
+}
+
+// Vetted carries an intentional, annotated type bump.
+type Vetted struct {
+	Old int64 `json:"old"` //qfix:wire-ok v2 widened Old; all peers ship the v2 decoder
+}
+
+// Clean is a new struct: not locked, nothing to diff — so its stale
+// directive is itself reported.
+type Clean struct {
+	F int `json:"f,omitempty"` //qfix:wire-ok stale // want "unused //qfix:wire-ok directive"
+}

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WireLockFile is the per-package golden's filename.
+const WireLockFile = "wire.lock"
+
+// WireDrift turns wire-protocol compatibility into a build-time
+// invariant. Every struct with json-tagged fields in a protocol package
+// (the dist job/result frames, the qfixd request/response frames) is a
+// wire message; its schema — field json names, Go types, omitempty —
+// is extracted and diffed against the package's committed wire.lock
+// golden:
+//
+//   - a locked struct or field missing from the code is a removal (or a
+//     json rename, which is a removal plus an addition): old peers
+//     still send or expect it — fail;
+//   - a locked field whose Go type changed decodes differently — fail;
+//   - a locked field whose omitempty changed alters which frames carry
+//     it — fail;
+//   - a new field must be omitempty, so frames from updated peers stay
+//     decodable as-if-absent by old ones and golden frame bytes don't
+//     grow silently.
+//
+// Additions (new omitempty fields, new message structs) pass the
+// analyzer but leave the golden stale; the CI wire.lock step
+// regenerates and diffs it, forcing the schema change to be committed —
+// and therefore reviewed — alongside the code. Regenerate with
+// `qfix-vet -write-wire-lock`. Intentional breaks ride a version bump
+// plus //qfix:wire-ok on the field (or the struct, for removals).
+var WireDrift = &Analyzer{
+	Name: "wiredrift",
+	Doc: "diff wire message structs (json tag schema) against committed wire.lock goldens; " +
+		"removals, renames, type and omitempty changes fail, additions must be omitempty",
+	Directive: "wire-ok",
+	Packages:  []string{"internal/dist", "internal/qfixd"},
+	Run:       runWireDrift,
+}
+
+// A wireField is one json-serialized field of a wire message struct.
+type wireField struct {
+	GoName    string
+	JSONName  string
+	Type      string
+	OmitEmpty bool
+	pos       token.Pos // declaration site (zero for lock-side fields)
+}
+
+// A wireStruct is one wire message struct's extracted schema.
+type wireStruct struct {
+	Name   string
+	Fields []wireField // declaration order
+	pos    token.Pos
+}
+
+func (ws *wireStruct) field(jsonName string) *wireField {
+	for i := range ws.Fields {
+		if ws.Fields[i].JSONName == jsonName {
+			return &ws.Fields[i]
+		}
+	}
+	return nil
+}
+
+func runWireDrift(pass *Pass) error {
+	schema := extractWireSchema(pass.TypesInfo, pass.Files)
+	if len(schema) == 0 {
+		return nil
+	}
+	lockPath := filepath.Join(pass.Dir, WireLockFile)
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		pass.Reportf(schema[0].pos,
+			"package has wire message structs but no %s golden; generate one with `qfix-vet -write-wire-lock` and commit it", WireLockFile)
+		return nil
+	}
+	locked, err := parseWireLock(string(data))
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", lockPath, err)
+	}
+	code := map[string]*wireStruct{}
+	for i := range schema {
+		code[schema[i].Name] = &schema[i]
+	}
+	firstPos := schema[0].pos
+	for _, ls := range locked {
+		cs, ok := code[ls.Name]
+		if !ok {
+			pass.Reportf(firstPos,
+				"wire struct %s was removed but is locked in %s: old peers still speak it; restore it or bump the protocol version, regenerate the lock, and annotate //qfix:wire-ok",
+				ls.Name, WireLockFile)
+			continue
+		}
+		for _, lf := range ls.Fields {
+			cf := cs.field(lf.JSONName)
+			if cf == nil {
+				pass.Reportf(cs.pos,
+					"wire field %s.%s (json %q) was removed or renamed but is locked in %s: a rename is a removal on the wire; restore the json name or bump the protocol version and annotate //qfix:wire-ok",
+					ls.Name, lf.GoName, lf.JSONName, WireLockFile)
+				continue
+			}
+			if cf.Type != lf.Type {
+				pass.Reportf(cf.pos,
+					"wire field %s.%s changed type %s -> %s but is locked in %s: old peers decode the locked type; bump the protocol version and annotate //qfix:wire-ok if intentional",
+					ls.Name, cf.GoName, lf.Type, cf.Type, WireLockFile)
+			}
+			if cf.OmitEmpty != lf.OmitEmpty {
+				was, now := omitLabel(lf.OmitEmpty), omitLabel(cf.OmitEmpty)
+				pass.Reportf(cf.pos,
+					"wire field %s.%s changed %s -> %s but is locked in %s: presence of the field on the wire changes; annotate //qfix:wire-ok if intentional",
+					ls.Name, cf.GoName, was, now, WireLockFile)
+			}
+		}
+		// Additions to a locked struct must be omitempty so frames stay
+		// decodable by old peers and golden frame bytes don't change
+		// when the field is unset.
+		for _, cf := range cs.Fields {
+			if ls.field(cf.JSONName) != nil {
+				continue
+			}
+			if !cf.OmitEmpty {
+				pass.Reportf(cf.pos,
+					"new wire field %s.%s (json %q) must be omitempty for cross-version compatibility (then regenerate %s), or annotate //qfix:wire-ok with the compatibility story",
+					cs.Name, cf.GoName, cf.JSONName, WireLockFile)
+			}
+		}
+	}
+	return nil
+}
+
+func omitLabel(omit bool) string {
+	if omit {
+		return "omitempty"
+	}
+	return "always-present"
+}
+
+// extractWireSchema collects every struct with at least one json-tagged
+// field, sorted by type name, fields in declaration order.
+func extractWireSchema(info *types.Info, files []*ast.File) []wireStruct {
+	var out []wireStruct
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			ws := wireStruct{Name: ts.Name.Name, pos: ts.Pos()}
+			for _, field := range st.Fields.List {
+				if field.Tag == nil {
+					continue
+				}
+				tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`")).Get("json")
+				if tag == "" || tag == "-" {
+					continue
+				}
+				parts := strings.Split(tag, ",")
+				omit := false
+				for _, opt := range parts[1:] {
+					if opt == "omitempty" {
+						omit = true
+					}
+				}
+				typeStr := ""
+				if tv, ok := info.Types[field.Type]; ok && tv.Type != nil {
+					typeStr = typeLabel(tv.Type)
+				}
+				for _, name := range field.Names {
+					jsonName := parts[0]
+					if jsonName == "" {
+						jsonName = name.Name
+					}
+					ws.Fields = append(ws.Fields, wireField{
+						GoName:    name.Name,
+						JSONName:  jsonName,
+						Type:      typeStr,
+						OmitEmpty: omit,
+						pos:       name.Pos(),
+					})
+				}
+			}
+			if len(ws.Fields) > 0 {
+				out = append(out, ws)
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FormatWireLock renders a package's wire schema as the wire.lock
+// golden text. The format is line-oriented and diff-friendly:
+//
+//	struct Job
+//		field version go=Version type=int
+//		field attempt_ttl_ns go=AttemptTTLNS type=int64 omitempty
+func FormatWireLock(pkg *Package) (string, bool) {
+	schema := extractWireSchema(pkg.Info, pkg.Files)
+	if len(schema) == 0 {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — wire message schema golden for %s.\n", WireLockFile, pkg.Path)
+	b.WriteString("# Regenerate with: go run ./cmd/qfix-vet -write-wire-lock ./...\n")
+	b.WriteString("# Removing, renaming, retyping, or changing omitempty on a locked field\n")
+	b.WriteString("# is a protocol break; qfix-vet's wiredrift analyzer enforces this.\n")
+	for _, ws := range schema {
+		fmt.Fprintf(&b, "struct %s\n", ws.Name)
+		for _, f := range ws.Fields {
+			fmt.Fprintf(&b, "\tfield %s go=%s type=%s", f.JSONName, f.GoName, f.Type)
+			if f.OmitEmpty {
+				b.WriteString(" omitempty")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), true
+}
+
+// parseWireLock reads the golden text back into schema form.
+func parseWireLock(text string) ([]wireStruct, error) {
+	var out []wireStruct
+	for i, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		switch fields[0] {
+		case "struct":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: want `struct Name`, got %q", i+1, trimmed)
+			}
+			out = append(out, wireStruct{Name: fields[1]})
+		case "field":
+			if len(out) == 0 {
+				return nil, fmt.Errorf("line %d: field before any struct", i+1)
+			}
+			wf := wireField{}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: want `field <json> go=<name> type=<type> [omitempty]`", i+1)
+			}
+			wf.JSONName = fields[1]
+			for _, tok := range fields[2:] {
+				switch {
+				case strings.HasPrefix(tok, "go="):
+					wf.GoName = tok[len("go="):]
+				case strings.HasPrefix(tok, "type="):
+					wf.Type = tok[len("type="):]
+				case tok == "omitempty":
+					wf.OmitEmpty = true
+				default:
+					return nil, fmt.Errorf("line %d: unknown token %q", i+1, tok)
+				}
+			}
+			ws := &out[len(out)-1]
+			ws.Fields = append(ws.Fields, wf)
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", i+1, fields[0])
+		}
+	}
+	return out, nil
+}
+
+// WriteWireLock regenerates the package's wire.lock in its source
+// directory. It returns the written path, or "" when the package has no
+// wire structs (no file is written or removed).
+func WriteWireLock(pkg *Package) (string, error) {
+	content, ok := FormatWireLock(pkg)
+	if !ok {
+		return "", nil
+	}
+	path := filepath.Join(pkg.Dir, WireLockFile)
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,125 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWireDrift(t *testing.T) {
+	analysistest.Run(t, "testdata/wiredrift", analysis.WireDrift, "repro/internal/dist")
+}
+
+// TestWireDriftMissingLock pins the bootstrap report: wire structs with
+// no committed golden at all are themselves a finding.
+func TestWireDriftMissingLock(t *testing.T) {
+	dir := copyFixture(t, "testdata/wiredrift", func(name string) bool {
+		return name == analysis.WireLockFile
+	})
+	diags := runWireDrift(t, dir)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no wire.lock golden") {
+		t.Fatalf("diagnostics with missing lock = %v, want exactly the no-golden report", diags)
+	}
+}
+
+// TestWireDriftRegenIsClean is the mutation test's other direction:
+// regenerating the lock from the drifted fixture restores a clean run
+// (modulo the directives the regeneration makes stale).
+func TestWireDriftRegenIsClean(t *testing.T) {
+	dir := copyFixture(t, "testdata/wiredrift", nil)
+	loader := analysis.NewLoader(".")
+	pkg, err := loader.LoadDir(dir, "repro/internal/dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.WriteWireLock(pkg); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range runWireDrift(t, dir) {
+		if d.Analyzer == analysis.WireDrift.Name {
+			t.Errorf("diagnostic after regeneration: %s", d.String())
+		}
+	}
+}
+
+// TestCommittedWireLocksCurrent fails when a committed wire.lock golden
+// is stale against its package — the same gate CI applies by
+// regenerating and diffing.
+func TestCommittedWireLocksCurrent(t *testing.T) {
+	pkgs, err := analysis.NewLoader(".").Load("repro/internal/dist", "repro/internal/qfixd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		if pkg.Path != "repro/internal/dist" && pkg.Path != "repro/internal/qfixd" {
+			continue
+		}
+		checked++
+		want, ok := analysis.FormatWireLock(pkg)
+		if !ok {
+			t.Errorf("%s: no wire structs extracted", pkg.Path)
+			continue
+		}
+		got, err := os.ReadFile(filepath.Join(pkg.Dir, analysis.WireLockFile))
+		if err != nil {
+			t.Errorf("%s: %v", pkg.Path, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("%s: committed %s is stale; regenerate with `go run ./cmd/qfix-vet -write-wire-lock ./...`",
+				pkg.Path, analysis.WireLockFile)
+		}
+	}
+	if checked != 2 {
+		t.Fatalf("checked %d wire packages, want 2", checked)
+	}
+}
+
+// runWireDrift runs the analyzer alone over dir as the dist package.
+func runWireDrift(t *testing.T, dir string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.NewLoader(".").LoadDir(dir, "repro/internal/dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{analysis.WireDrift}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == analysis.WireDrift.Name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// copyFixture clones a fixture directory into a temp dir, skipping
+// entries the filter rejects.
+func copyFixture(t *testing.T, src string, skip func(name string) bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || (skip != nil && skip(e.Name())) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}

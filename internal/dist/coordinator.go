@@ -86,15 +86,15 @@ type Coordinator struct {
 // race on, and no cross-tenant eviction.
 type encMemo struct {
 	mu        sync.Mutex
-	d0        *relation.Table
-	d0Len     int
-	nextID    int64
-	table     wireTable
-	d0Digest  uint64
-	logPtr    *query.Query
-	logLen    int
-	log       []wireQuery
-	logDigest uint64
+	d0        *relation.Table //qfix:guarded-by mu
+	d0Len     int             //qfix:guarded-by mu
+	nextID    int64           //qfix:guarded-by mu
+	table     wireTable       //qfix:guarded-by mu
+	d0Digest  uint64          //qfix:guarded-by mu
+	logPtr    *query.Query    //qfix:guarded-by mu
+	logLen    int             //qfix:guarded-by mu
+	log       []wireQuery     //qfix:guarded-by mu
+	logDigest uint64          //qfix:guarded-by mu
 }
 
 // NewCoordinator builds a coordinator over the given transports. With no

@@ -106,13 +106,13 @@ type MuxTransport struct {
 	writeMu sync.Mutex
 
 	mu       sync.Mutex
-	conn     net.Conn
-	pending  map[uint64]chan *Result
-	gen      uint64        // connection generation; guards stale teardowns
-	dialing  chan struct{} // non-nil while a dial is in flight; closed when it settles
-	failures int           // consecutive connection failures (drives backoff)
-	nextDial time.Time     // earliest next persistent-connection dial
-	rng      *rand.Rand    // backoff jitter; guarded by mu, seeded from addr
+	conn     net.Conn                //qfix:guarded-by mu
+	pending  map[uint64]chan *Result //qfix:guarded-by mu
+	gen      uint64                  //qfix:guarded-by mu — connection generation; guards stale teardowns
+	dialing  chan struct{}           //qfix:guarded-by mu — non-nil while a dial is in flight; closed when it settles
+	failures int                     //qfix:guarded-by mu — consecutive connection failures (drives backoff)
+	nextDial time.Time               //qfix:guarded-by mu — earliest next persistent-connection dial
+	rng      *rand.Rand              //qfix:guarded-by mu — backoff jitter, seeded from addr
 	closed   bool
 }
 
@@ -348,6 +348,7 @@ func (t *MuxTransport) connection(ctx context.Context) (net.Conn, error) {
 		}
 		t.conn = conn
 		t.gen++
+		//qfix:leak-ok readLoop exits when Close or a teardown closes this conn
 		go t.readLoop(conn, t.gen)
 		t.mu.Unlock()
 		return conn, nil

@@ -45,11 +45,11 @@ type Server struct {
 	Logf func(format string, args ...any)
 
 	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	cache  *workerCache
-	sem    chan struct{} // server-wide solve slots (MaxInflight)
-	closed bool
+	ln     net.Listener          //qfix:guarded-by mu
+	conns  map[net.Conn]struct{} //qfix:guarded-by mu
+	cache  *workerCache          //qfix:guarded-by mu
+	sem    chan struct{}         //qfix:guarded-by mu — server-wide solve slots (MaxInflight)
+	closed bool                  //qfix:guarded-by mu
 }
 
 // Serve accepts and handles connections on l until Close or a fatal
@@ -95,6 +95,10 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		// handle's decode loop exits when the peer hangs up or Close
+		// tears the registered conn down; its deferred cleanup then
+		// deregisters the conn.
+		//qfix:leak-ok handle exits on conn error; Close closes every registered conn
 		go s.handle(conn)
 	}
 }

@@ -28,7 +28,7 @@ const DefaultWorkerCacheEntries = 8
 // diagnosis collapses each worker's search to the pruning pass.
 type workerCache struct {
 	mu        sync.Mutex
-	entries   *lru.Map[wcKey, wcEntry]
+	entries   *lru.Map[wcKey, wcEntry] //qfix:guarded-by mu
 	impact    *core.ImpactCache
 	solutions *core.SolutionCache
 }

@@ -87,20 +87,20 @@ type Store struct {
 	mu     sync.RWMutex
 	dir    string
 	schema *relation.Schema
-	d0     *relation.Table
-	log    []query.Query
-	logF   *os.File
+	d0     *relation.Table //qfix:guarded-by mu
+	log    []query.Query   //qfix:guarded-by mu
+	logF   *os.File        //qfix:guarded-by mu
 	// gen is the checkpoint generation; 0 for stores still on the
 	// legacy snapshot format.
-	gen int64
+	gen int64 //qfix:guarded-by mu
 	// digest is the rolling log digest (core.DigestStep per append),
 	// the impact cache key for the current log.
-	digest    uint64
+	digest    uint64 //qfix:guarded-by mu
 	cache     *core.ImpactCache
 	solutions *core.SolutionCache
 	// impact is the FullImpact closure covering log, once a diagnosis
 	// has materialized one; Append extends it incrementally.
-	impact []query.AttrSet
+	impact []query.AttrSet //qfix:guarded-by mu
 }
 
 // Create initializes a new history directory with the given checkpoint
@@ -391,6 +391,7 @@ func Open(dir string) (*Store, error) {
 		digest: core.DigestSeed(sch), cache: core.NewImpactCache(0),
 		solutions: core.NewSolutionCache(0)}
 	for _, q := range log {
+		//qfix:lock-ok s is unpublished until return; no other goroutine can hold a reference yet
 		s.digest = core.DigestStep(s.digest, sch, q)
 	}
 	mOpens.Inc()
@@ -472,12 +473,12 @@ func (s *Store) appendLocked(q query.Query) error {
 	}
 	s.log = append(s.log, q.Clone())
 	s.digest = core.DigestStep(s.digest, s.schema, q)
-	s.extendImpact()
+	s.extendImpactLocked()
 	mAppends.Inc()
 	return nil
 }
 
-// extendImpact keeps the cached FullImpact closure covering the log:
+// extendImpactLocked keeps the cached FullImpact closure covering the log:
 // once a diagnosis has materialized one, every append extends it
 // incrementally (touching only prefix entries whose impact reaches the
 // new statement) so the next Diagnose starts from a warm closure
@@ -487,7 +488,7 @@ func (s *Store) appendLocked(q query.Query) error {
 // bulk loader even that is wasted, but it is dwarfed by Append's
 // per-statement fsync, and a store that never diagnoses never
 // materializes a closure to maintain in the first place.
-func (s *Store) extendImpact() {
+func (s *Store) extendImpactLocked() {
 	if s.impact == nil {
 		return
 	}

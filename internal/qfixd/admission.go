@@ -28,11 +28,11 @@ var ErrBusy = errors.New("qfixd: tenant queue full")
 // ring exactly while it has waiters.
 type admission struct {
 	mu     sync.Mutex
-	free   int                        // slots not currently held
-	queues map[string][]chan struct{} // per-tenant FIFO waiters
-	ring   []string                   // tenants with waiters, round-robin order
-	next   int                        // ring cursor: next tenant to grant
-	cap    int                        // per-tenant waiter cap
+	free   int                        //qfix:guarded-by mu — slots not currently held
+	queues map[string][]chan struct{} //qfix:guarded-by mu — per-tenant FIFO waiters
+	ring   []string                   //qfix:guarded-by mu — tenants with waiters, round-robin order
+	next   int                        //qfix:guarded-by mu — ring cursor: next tenant to grant
+	cap    int                        // per-tenant waiter cap (immutable after construction)
 }
 
 // newAdmission sizes the controller: slots as Config.MaxInflight

@@ -21,9 +21,9 @@ type Client struct {
 	enc  *json.Encoder
 
 	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *Response
-	err     error // sticky: set once the connection fails
+	nextID  uint64                    //qfix:guarded-by mu
+	pending map[uint64]chan *Response //qfix:guarded-by mu
+	err     error                     //qfix:guarded-by mu — sticky: set once the connection fails
 }
 
 // DialDaemon connects to a qfixd server.
@@ -34,6 +34,7 @@ func DialDaemon(addr string) (*Client, error) {
 	}
 	c := &Client{conn: conn, enc: json.NewEncoder(conn),
 		pending: make(map[uint64]chan *Response)}
+	//qfix:leak-ok read exits when Close closes the conn, failing Decode
 	go c.read()
 	return c, nil
 }

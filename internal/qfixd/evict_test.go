@@ -1,0 +1,144 @@
+package qfixd
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// residentTenants counts the tenants currently held open.
+func residentTenants(svc *Service) int {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	return len(svc.tenants)
+}
+
+// createTaxTenant makes a tenant directly on the service with the
+// standard schema and no history.
+func createTaxTenant(t *testing.T, svc *Service, name string) {
+	t.Helper()
+	if err := svc.Create(name, "Taxes", "", taxAttrs, [][]float64{{100, 10, 90}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lookups over the MaxOpenStores cap evict the least recently used
+// idle stores, and an evicted tenant transparently reopens from disk
+// with its full history.
+func TestStoreEvictionCap(t *testing.T) {
+	svc := NewService(Config{Dir: t.TempDir(), MaxOpenStores: 2, StoreIdle: -1})
+	defer svc.Close()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		createTaxTenant(t, svc, name)
+		if _, err := svc.Append(name, []string{"UPDATE Taxes SET owed = 11 WHERE income >= 100"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The last lookup's sweep runs before its own pin, so at most
+	// cap + 1 tenants can be resident at any point after an operation.
+	if got := residentTenants(svc); got > 3 {
+		t.Fatalf("resident tenants = %d, want <= 3 under MaxOpenStores=2", got)
+	}
+	// Every tenant — including evicted ones — still serves its state.
+	for i := 0; i < n; i++ {
+		_, ts, err := svc.Stats(fmt.Sprintf("t%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.LogLen != 1 {
+			t.Fatalf("t%d: log length %d after eviction round-trip, want 1", i, ts.LogLen)
+		}
+	}
+}
+
+// Stores idle past StoreIdle are evicted even far under the cap.
+func TestStoreEvictionIdle(t *testing.T) {
+	svc := NewService(Config{Dir: t.TempDir(), MaxOpenStores: -1, StoreIdle: time.Nanosecond})
+	defer svc.Close()
+
+	createTaxTenant(t, svc, "a")
+	createTaxTenant(t, svc, "b")
+	time.Sleep(time.Millisecond) // exceed the idle deadline
+	// The lookup for b sweeps a (idle, unpinned) out; b itself is
+	// resident while pinned and evicted by the next sweep.
+	if _, _, err := svc.Stats("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := residentTenants(svc); got > 1 {
+		t.Fatalf("resident tenants = %d after idle sweep, want <= 1", got)
+	}
+}
+
+// A tenant with staged complaints is never evicted: its staged state
+// lives only in memory and must survive until diagnosis or checkpoint.
+func TestStoreEvictionSparesStaged(t *testing.T) {
+	svc := NewService(Config{Dir: t.TempDir(), MaxOpenStores: 1, StoreIdle: time.Nanosecond})
+	defer svc.Close()
+
+	createTaxTenant(t, svc, "staged")
+	if _, err := svc.Complain("staged", taxScenario(0).complaints); err != nil {
+		t.Fatal(err)
+	}
+	createTaxTenant(t, svc, "idle")
+	time.Sleep(time.Millisecond)
+	// Sweeps triggered by other tenants' lookups must keep "staged".
+	if _, _, err := svc.Stats("idle"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, err := svc.Stats("staged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Staged != 2 {
+		t.Fatalf("staged complaints = %d after eviction sweeps, want 2", ts.Staged)
+	}
+}
+
+// Concurrent operations racing the eviction sweep: every append lands
+// exactly once and no request observes a closed store. Run with -race
+// to exercise the pin/evict interleavings.
+func TestStoreEvictionConcurrent(t *testing.T) {
+	svc := NewService(Config{Dir: t.TempDir(), MaxOpenStores: 1, StoreIdle: time.Nanosecond})
+	defer svc.Close()
+
+	const tenants, rounds = 4, 8
+	for i := 0; i < tenants; i++ {
+		createTaxTenant(t, svc, fmt.Sprintf("t%d", i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*rounds)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := svc.Append(name, []string{"UPDATE Taxes SET owed = 12 WHERE income >= 100"}); err != nil {
+					errs <- fmt.Errorf("%s append %d: %w", name, r, err)
+					return
+				}
+				if _, _, err := svc.Stats(name); err != nil {
+					errs <- fmt.Errorf("%s stats %d: %w", name, r, err)
+					return
+				}
+			}
+		}(fmt.Sprintf("t%d", i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for i := 0; i < tenants; i++ {
+		_, ts, err := svc.Stats(fmt.Sprintf("t%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.LogLen != rounds {
+			t.Fatalf("t%d: log length %d, want %d", i, ts.LogLen, rounds)
+		}
+	}
+}

@@ -19,4 +19,6 @@ var (
 		"Per-diagnosis wall time as served (queue wait excluded).", nil)
 	mTenants = obs.Default().Gauge("qfix_daemon_tenants",
 		"Tenant stores currently resident.")
+	mStoreEvictions = obs.Default().Counter("qfix_daemon_store_evictions_total",
+		"Idle tenant stores closed by the lookup-time eviction sweep.")
 )

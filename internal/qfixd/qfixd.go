@@ -46,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,14 @@ import (
 // DefaultTenantQueue is the per-tenant cap on diagnoses waiting for an
 // inflight slot when Config.TenantQueue is zero.
 const DefaultTenantQueue = 16
+
+// DefaultMaxOpenStores is the resident tenant-store cap when
+// Config.MaxOpenStores is zero.
+const DefaultMaxOpenStores = 64
+
+// DefaultStoreIdle is how long an unused tenant store stays resident
+// when Config.StoreIdle is zero.
+const DefaultStoreIdle = 15 * time.Minute
 
 // ErrDraining is returned for new work while the service shuts down.
 var ErrDraining = errors.New("qfixd: draining")
@@ -89,6 +98,16 @@ type Config struct {
 	// PoolWorkers sizes the resident scheduler pool shared by every
 	// diagnosis's scans. Zero picks runtime.GOMAXPROCS.
 	PoolWorkers int
+	// MaxOpenStores bounds how many tenant stores stay resident at
+	// once. Lookups evict least-recently-used idle stores (no request
+	// pinning them, no staged complaints) over the cap. Zero picks
+	// DefaultMaxOpenStores; negative removes the cap.
+	MaxOpenStores int
+	// StoreIdle is how long an unused tenant store stays resident
+	// before a lookup may evict it regardless of the cap. Zero picks
+	// DefaultStoreIdle; negative disables idle-based eviction (stores
+	// are evicted only over the MaxOpenStores cap).
+	StoreIdle time.Duration
 	// TraceDir, when set, roots a span tree per diagnose request and
 	// writes it to <TraceDir>/<tenant>-<seq>.jsonl.
 	TraceDir string
@@ -106,8 +125,8 @@ type Service struct {
 	adm   *admission
 
 	mu      sync.Mutex
-	tenants map[string]*tenant
-	closed  bool
+	tenants map[string]*tenant //qfix:guarded-by mu
+	closed  bool               //qfix:guarded-by mu
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -116,10 +135,18 @@ type Service struct {
 
 // tenant is one tenant's resident state: its open store and the
 // complaints staged (via the complain op) for its next diagnosis.
+//
+// refs pins the store against eviction: lookup increments it (under
+// the service mutex, so a pin and an eviction cannot interleave) and
+// every operation releases it when done, so the store a request is
+// using can never be closed under it. lastUse drives LRU and idle
+// eviction. Lock order is always s.mu before tn.mu.
 type tenant struct {
-	mu     sync.Mutex
-	store  *histstore.Store
-	staged []core.Complaint
+	mu      sync.Mutex
+	store   *histstore.Store //qfix:guarded-by mu
+	staged  []core.Complaint //qfix:guarded-by mu
+	refs    int              //qfix:guarded-by mu — operations currently using the store
+	lastUse time.Time        //qfix:guarded-by mu — last pin or release
 }
 
 // NewService builds the resident state: the scheduler pool starts
@@ -166,7 +193,14 @@ func (s *Service) Close() error {
 	s.mu.Unlock()
 	var first error
 	for _, tn := range tenants {
-		if err := tn.store.Close(); err != nil && first == nil {
+		tn.mu.Lock()
+		store := tn.store
+		tn.store = nil
+		tn.mu.Unlock()
+		if store == nil {
+			continue
+		}
+		if err := store.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -193,29 +227,112 @@ func (s *Service) tenantDir(name string) string {
 	return filepath.Join(s.cfg.Dir, name)
 }
 
-// lookup returns the tenant's resident state, opening its store from
-// disk on first use. With create=false a tenant with no store directory
-// is an error.
-func (s *Service) lookup(name string) (*tenant, error) {
+// lookup returns the tenant's resident state and its open store,
+// opening the store from disk on first use (or after an eviction). The
+// store is pinned against eviction until the caller's release. Each
+// lookup also sweeps the tenant table for evictable stores, so the
+// resident set stays bounded without a background goroutine.
+func (s *Service) lookup(name string) (*tenant, *histstore.Store, error) {
 	if !validTenant(name) {
-		return nil, fmt.Errorf("qfixd: invalid tenant name %q", name)
+		return nil, nil, fmt.Errorf("qfixd: invalid tenant name %q", name)
 	}
+	now := time.Now() //qfix:det-ok eviction clock: decides cache residency only, never a diagnosis input
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrDraining
+		return nil, nil, ErrDraining
 	}
+	s.evictLocked(now)
 	if tn, ok := s.tenants[name]; ok {
-		return tn, nil
+		tn.mu.Lock()
+		tn.refs++
+		tn.lastUse = now
+		store := tn.store
+		tn.mu.Unlock()
+		return tn, store, nil
 	}
 	store, err := histstore.Open(s.tenantDir(name))
 	if err != nil {
-		return nil, fmt.Errorf("qfixd: tenant %q: %w", name, err)
+		return nil, nil, fmt.Errorf("qfixd: tenant %q: %w", name, err)
 	}
-	tn := &tenant{store: store}
+	tn := &tenant{store: store, refs: 1, lastUse: now}
 	s.tenants[name] = tn
 	mTenants.Set(int64(len(s.tenants)))
-	return tn, nil
+	return tn, store, nil
+}
+
+// release unpins a tenant after an operation; paired with every
+// successful lookup.
+func (s *Service) release(tn *tenant) {
+	now := time.Now() //qfix:det-ok eviction clock: decides cache residency only, never a diagnosis input
+	tn.mu.Lock()
+	tn.refs--
+	tn.lastUse = now
+	tn.mu.Unlock()
+}
+
+// evictLocked closes and drops tenant stores that are over the
+// configured residency bounds: every idle store (unpinned, nothing
+// staged) past the idle deadline goes, then the least recently used
+// idle stores until the open-store cap holds. Requires s.mu; pins
+// cannot race the sweep because they are taken under s.mu too, and a
+// tenant with staged complaints is never evicted (its staged state is
+// memory-only). Evicted tenants transparently reopen from disk on
+// their next lookup — warm caches are the only loss.
+func (s *Service) evictLocked(now time.Time) {
+	max := s.cfg.MaxOpenStores
+	if max == 0 {
+		max = DefaultMaxOpenStores
+	}
+	idle := s.cfg.StoreIdle
+	if idle == 0 {
+		idle = DefaultStoreIdle
+	}
+	if (max < 0 || len(s.tenants) <= max) && idle < 0 {
+		return
+	}
+	type candidate struct {
+		name    string
+		lastUse time.Time
+	}
+	var idlers []candidate
+	for name, tn := range s.tenants {
+		tn.mu.Lock()
+		if tn.refs == 0 && len(tn.staged) == 0 {
+			idlers = append(idlers, candidate{name, tn.lastUse})
+		}
+		tn.mu.Unlock()
+	}
+	// Oldest first; ties break on name so the sweep order is stable.
+	sort.Slice(idlers, func(i, j int) bool {
+		if !idlers[i].lastUse.Equal(idlers[j].lastUse) {
+			return idlers[i].lastUse.Before(idlers[j].lastUse)
+		}
+		return idlers[i].name < idlers[j].name
+	})
+	evicted := false
+	for _, c := range idlers {
+		expired := idle >= 0 && now.Sub(c.lastUse) >= idle
+		over := max >= 0 && len(s.tenants) > max
+		if !expired && !over {
+			break // sorted: everything after is more recently used
+		}
+		tn := s.tenants[c.name]
+		tn.mu.Lock()
+		if tn.refs == 0 && len(tn.staged) == 0 {
+			delete(s.tenants, c.name)
+			if err := tn.store.Close(); err != nil {
+				s.logf("qfixd: %s: closing evicted store: %v", c.name, err)
+			}
+			tn.store = nil
+			mStoreEvictions.Inc()
+			evicted = true
+		}
+		tn.mu.Unlock()
+	}
+	if evicted {
+		mTenants.Set(int64(len(s.tenants)))
+	}
 }
 
 // Create initializes a new tenant with the given checkpoint state.
@@ -248,7 +365,8 @@ func (s *Service) Create(name, table, key string, attrs []string, rows [][]float
 	if err != nil {
 		return err
 	}
-	s.tenants[name] = &tenant{store: store}
+	//qfix:det-ok eviction clock: decides cache residency only, never a diagnosis input
+	s.tenants[name] = &tenant{store: store, lastUse: time.Now()}
 	mTenants.Set(int64(len(s.tenants)))
 	return nil
 }
@@ -259,12 +377,13 @@ func (s *Service) Append(name string, sql []string) (int, error) {
 	if s.draining.Load() {
 		return 0, ErrDraining
 	}
-	tn, err := s.lookup(name)
+	tn, store, err := s.lookup(name)
 	if err != nil {
 		return 0, err
 	}
+	defer s.release(tn)
 	for i, stmt := range sql {
-		if _, err := tn.store.AppendSQL(stmt); err != nil {
+		if _, err := store.AppendSQL(stmt); err != nil {
 			return i, fmt.Errorf("qfixd: append statement %d: %w", i+1, err)
 		}
 	}
@@ -279,10 +398,11 @@ func (s *Service) Complain(name string, complaints []core.Complaint) (int, error
 	if s.draining.Load() {
 		return 0, ErrDraining
 	}
-	tn, err := s.lookup(name)
+	tn, _, err := s.lookup(name)
 	if err != nil {
 		return 0, err
 	}
+	defer s.release(tn)
 	tn.mu.Lock()
 	tn.staged = append(tn.staged, cloneComplaints(complaints)...)
 	n := len(tn.staged)
@@ -296,11 +416,12 @@ func (s *Service) Checkpoint(name string) error {
 	if s.draining.Load() {
 		return ErrDraining
 	}
-	tn, err := s.lookup(name)
+	tn, store, err := s.lookup(name)
 	if err != nil {
 		return err
 	}
-	if err := tn.store.Checkpoint(); err != nil {
+	defer s.release(tn)
+	if err := store.Checkpoint(); err != nil {
 		return err
 	}
 	tn.mu.Lock()
@@ -324,14 +445,15 @@ func (s *Service) Stats(name string) (tenants int, ts *TenantStats, err error) {
 	if name == "" {
 		return tenants, nil, nil
 	}
-	tn, err := s.lookup(name)
+	tn, store, err := s.lookup(name)
 	if err != nil {
 		return tenants, nil, err
 	}
+	defer s.release(tn)
 	tn.mu.Lock()
 	staged := len(tn.staged)
 	tn.mu.Unlock()
-	return tenants, &TenantStats{LogLen: len(tn.store.Log()), Staged: staged}, nil
+	return tenants, &TenantStats{LogLen: len(store.Log()), Staged: staged}, nil
 }
 
 // Diagnose runs one admission-controlled diagnosis for the tenant over
@@ -345,10 +467,13 @@ func (s *Service) Diagnose(ctx context.Context, name string, complaints []core.C
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
-	tn, err := s.lookup(name)
+	tn, store, err := s.lookup(name)
 	if err != nil {
 		return nil, err
 	}
+	// The pin spans the whole diagnosis (including the admission wait):
+	// the store cannot be evicted and closed under a running solve.
+	defer s.release(tn)
 	tn.mu.Lock()
 	all := append(cloneComplaints(tn.staged), complaints...)
 	tn.mu.Unlock()
@@ -396,7 +521,7 @@ func (s *Service) Diagnose(ctx context.Context, name string, complaints []core.C
 	}
 
 	start := time.Now() //qfix:det-ok latency metric and log line only; never a decision input
-	rep, err := tn.store.Diagnose(all, opt)
+	rep, err := store.Diagnose(all, opt)
 	elapsed := time.Since(start) //qfix:det-ok latency metric and log line only; never a decision input
 	mDiagnoseSeconds.Observe(elapsed.Seconds())
 	if root != nil {

@@ -23,9 +23,9 @@ type Server struct {
 	svc *Service
 
 	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	ln     net.Listener          //qfix:guarded-by mu
+	conns  map[net.Conn]struct{} //qfix:guarded-by mu
+	closed bool                  //qfix:guarded-by mu
 }
 
 // NewServer serves svc. The service's lifecycle stays the caller's: a
@@ -210,11 +210,12 @@ func (s *Server) diagnose(ctx context.Context, req *Request) *Response {
 // rendering the qfix CLI prints, which is what the byte-identity e2e
 // tests compare.
 func repairResponse(id uint64, rep *core.Repair, svc *Service, tenant string) *Response {
-	tn, err := svc.lookup(tenant)
+	tn, store, err := svc.lookup(tenant)
 	if err != nil {
 		return &Response{ID: id, Err: err.Error()}
 	}
-	sch := tn.store.Schema()
+	defer svc.release(tn)
+	sch := store.Schema()
 	log := make([]string, len(rep.Log))
 	for i, q := range rep.Log {
 		log[i] = q.String(sch)

@@ -76,6 +76,10 @@ func ScheduleOrder[R any](workers, n int, order []int, job func(i int) R) (resul
 		}()
 	}
 	mQueueDepth.Add(int64(n))
+	// The feeder performs exactly n sends, each matched by a worker
+	// receive, then closes feed — termination is structural, not
+	// signal-driven.
+	//qfix:leak-ok feeder makes n matched sends then closes feed; workers drain it
 	go func() {
 		if order == nil {
 			// Feeding cannot wedge: the pool above keeps receiving until
